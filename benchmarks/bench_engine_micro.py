@@ -1,0 +1,118 @@
+"""Micro-benchmarks of the engine's building blocks.
+
+Not a paper figure — these isolate the costs the paper reasons about:
+pure scan throughput, the 100%-rule fast path vs the generic engine,
+packed-bitmap miss counting vs set operations, and the pre-scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.miss_counting import miss_counting_scan, zero_miss_scan
+from repro.core.policies import (
+    HundredPercentPolicy,
+    ImplicationPolicy,
+    SimilarityPolicy,
+)
+from repro.datasets.synthetic import random_matrix
+from repro.matrix.ops import count_and_not, pack_rows
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_matrix(3000, 300, density=0.03, seed=1)
+
+
+def test_micro_prescan(benchmark, workload):
+    """Pass 1: counting ones per column."""
+
+    def prescan():
+        counts = [0] * workload.n_columns
+        for _, row in workload.iter_rows():
+            for column in row:
+                counts[column] += 1
+        return counts
+
+    counts = benchmark(prescan)
+    assert sum(counts) == workload.nnz
+
+
+def test_micro_generic_scan_imp(benchmark, workload):
+    policy = ImplicationPolicy(workload.column_ones(), 0.8)
+    rules = benchmark.pedantic(
+        miss_counting_scan, args=(workload, policy), rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_generic_scan_sim(benchmark, workload):
+    policy = SimilarityPolicy(workload.column_ones(), 0.6)
+    rules = benchmark.pedantic(
+        miss_counting_scan, args=(workload, policy), rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_zero_miss_fast_path(benchmark, workload):
+    """Section 4.3's id-set fast path vs the generic engine."""
+    policy = HundredPercentPolicy(workload.column_ones())
+    rules = benchmark.pedantic(
+        zero_miss_scan, args=(workload, policy), rounds=3, iterations=1
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_zero_miss_generic_equivalent(benchmark, workload):
+    policy = HundredPercentPolicy(workload.column_ones())
+    rules = benchmark.pedantic(
+        miss_counting_scan, args=(workload, policy), rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_bitmap_miss_counting(benchmark):
+    """popcount(a & ~b) on packed bitmaps, the Phase-1 primitive."""
+    rng = np.random.default_rng(0)
+    rows = [
+        (r, tuple(np.flatnonzero(rng.random(64) < 0.3)))
+        for r in range(512)
+    ]
+    bitmaps = pack_rows(rows)
+    columns = list(bitmaps.columns())
+
+    def count_all():
+        total = 0
+        for i in columns:
+            a = bitmaps.get(i)
+            for j in columns:
+                if i != j:
+                    total += count_and_not(a, bitmaps.get(j))
+        return total
+
+    total = benchmark(count_all)
+    assert total > 0
+
+
+def test_micro_set_miss_counting(benchmark):
+    """The same misses via Python sets, for comparison."""
+    rng = np.random.default_rng(0)
+    column_rows = {}
+    for r in range(512):
+        for c in np.flatnonzero(rng.random(64) < 0.3):
+            column_rows.setdefault(int(c), set()).add(r)
+    columns = list(column_rows)
+
+    def count_all():
+        total = 0
+        for i in columns:
+            a = column_rows[i]
+            for j in columns:
+                if i != j:
+                    total += len(a - column_rows[j])
+        return total
+
+    total = benchmark(count_all)
+    assert total > 0

@@ -1,0 +1,59 @@
+"""Figure 6(a)/(b) — DMC-imp and DMC-sim time vs threshold, 6 data sets.
+
+One benchmark per (data set, threshold, kind); pytest-benchmark's
+comparison view is the figure.  The qualitative claim checked at the
+end: execution time decreases as the threshold rises.
+"""
+
+import pytest
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.experiments.figures import SCALED_BITMAP
+
+DATASET_NAMES = ["Wlog", "WlogP", "plinkF", "plinkT", "News", "dicD"]
+THRESHOLDS = [0.95, 0.85, 0.75]
+OPTIONS = PruningOptions(bitmap=SCALED_BITMAP)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_fig6a_dmc_imp(benchmark, datasets, name, threshold):
+    matrix = datasets(name)
+    rules = benchmark.pedantic(
+        find_implication_rules,
+        args=(matrix, threshold),
+        kwargs={"options": OPTIONS},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_fig6b_dmc_sim(benchmark, datasets, name, threshold):
+    matrix = datasets(name)
+    rules = benchmark.pedantic(
+        find_similarity_rules,
+        args=(matrix, threshold),
+        kwargs={"options": OPTIONS},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+@pytest.mark.parametrize("name", ["Wlog", "News"])
+def test_fig6ab_time_decreases_with_threshold(datasets, name):
+    """The figure's qualitative shape, asserted directly (with slack
+    for timer noise): mining at 95% is not slower than mining at 70%."""
+    import time
+
+    matrix = datasets(name)
+    seconds = {}
+    for threshold in (0.95, 0.7):
+        start = time.perf_counter()
+        find_implication_rules(matrix, threshold, options=OPTIONS)
+        seconds[threshold] = time.perf_counter() - start
+    assert seconds[0.95] <= seconds[0.7] * 1.5

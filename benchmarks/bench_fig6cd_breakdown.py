@@ -1,0 +1,58 @@
+"""Figure 6(c)/(d) — Wlog execution-time breakdown by pipeline phase.
+
+Each benchmark records the pre-scan / 100%-rule / <100%-rule split as
+extra-info.  Qualitative claims: the pre-scan and 100% phases are small
+and roughly threshold-independent; the <100% phase dominates and grows
+as the threshold falls.
+"""
+
+import pytest
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.stats import PipelineStats
+from repro.experiments.figures import SCALED_BITMAP
+
+OPTIONS = PruningOptions(bitmap=SCALED_BITMAP)
+THRESHOLDS = [0.95, 0.85, 0.75]
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize(
+    "kind,miner",
+    [("imp", find_implication_rules), ("sim", find_similarity_rules)],
+)
+def test_fig6cd_wlog_breakdown(benchmark, datasets, kind, miner, threshold):
+    matrix = datasets("Wlog")
+
+    def run():
+        stats = PipelineStats()
+        miner(matrix, threshold, options=OPTIONS, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    for phase, seconds in stats.breakdown().items():
+        benchmark.extra_info[phase] = round(seconds, 5)
+
+
+def test_fig6cd_partial_phase_dominates_at_low_threshold(datasets):
+    matrix = datasets("Wlog")
+    stats = PipelineStats()
+    find_implication_rules(matrix, 0.7, options=OPTIONS, stats=stats)
+    breakdown = stats.breakdown()
+    assert breakdown["<100%-rules"] > breakdown["pre-scan"]
+    assert breakdown["<100%-rules"] > breakdown["100%-rules"]
+
+
+def test_fig6cd_hundred_percent_phase_is_threshold_independent(datasets):
+    matrix = datasets("Wlog")
+    seconds = {}
+    for threshold in (0.95, 0.7):
+        stats = PipelineStats()
+        find_implication_rules(
+            matrix, threshold, options=OPTIONS, stats=stats
+        )
+        seconds[threshold] = stats.breakdown()["100%-rules"]
+    # Same pass either way; allow generous timer noise.
+    assert seconds[0.7] < seconds[0.95] * 3
+    assert seconds[0.95] < seconds[0.7] * 3

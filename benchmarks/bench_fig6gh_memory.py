@@ -1,0 +1,70 @@
+"""Figure 6(g)/(h) — peak counter-array memory vs threshold.
+
+Records the peak modelled bytes of the counter array for DMC-imp and
+DMC-sim.  Qualitative claims: the peak grows as the threshold falls,
+and DMC-sim generally needs (much) less than DMC-imp thanks to the
+Section 5 prunings.
+"""
+
+import pytest
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.stats import PipelineStats
+from repro.experiments.figures import SCALED_BITMAP
+
+OPTIONS = PruningOptions(bitmap=SCALED_BITMAP)
+
+
+@pytest.mark.parametrize("threshold", [0.9, 0.8, 0.7])
+@pytest.mark.parametrize("name", ["WlogP", "plinkT", "News", "dicD"])
+def test_fig6gh_peak_memory(benchmark, datasets, name, threshold):
+    matrix = datasets(name)
+
+    def run():
+        imp_stats = PipelineStats()
+        find_implication_rules(
+            matrix, threshold, options=OPTIONS, stats=imp_stats
+        )
+        sim_stats = PipelineStats()
+        find_similarity_rules(
+            matrix, threshold, options=OPTIONS, stats=sim_stats
+        )
+        return imp_stats, sim_stats
+
+    imp_stats, sim_stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["imp_peak_bytes"] = imp_stats.peak_bytes
+    benchmark.extra_info["sim_peak_bytes"] = sim_stats.peak_bytes
+
+
+def test_fig6gh_sim_needs_less_memory_than_imp(datasets):
+    """Section 5's point, on the data sets where column cardinalities
+    spread enough for density pruning to bite."""
+    wins = 0
+    total = 0
+    for name in ("WlogP", "plinkT", "News", "dicD"):
+        matrix = datasets(name)
+        imp_stats = PipelineStats()
+        find_implication_rules(
+            matrix, 0.8, options=OPTIONS, stats=imp_stats
+        )
+        sim_stats = PipelineStats()
+        find_similarity_rules(
+            matrix, 0.8, options=OPTIONS, stats=sim_stats
+        )
+        total += 1
+        if sim_stats.peak_bytes <= imp_stats.peak_bytes:
+            wins += 1
+    assert wins >= total - 1
+
+
+def test_fig6gh_memory_grows_as_threshold_falls(datasets):
+    matrix = datasets("News")
+    peaks = {}
+    for threshold in (0.9, 0.7):
+        stats = PipelineStats()
+        find_implication_rules(
+            matrix, threshold, options=OPTIONS, stats=stats
+        )
+        peaks[threshold] = stats.peak_bytes
+    assert peaks[0.7] >= peaks[0.9]

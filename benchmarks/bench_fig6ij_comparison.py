@@ -1,0 +1,149 @@
+"""Figure 6(i)/(j) and the Section 7 headline ratios — NewsP comparison.
+
+One benchmark per algorithm at the paper's 85% threshold: DMC-imp,
+a-priori, DHP, and K-Min for implication; DMC-sim, a-priori
+(similarity-filtered counters), and Min-Hash for similarity.  All exact
+algorithms must agree on the mined rules; the randomized ones are
+verified and their misses counted.
+
+Paper numbers at 85% on NewsP: DMC-imp 1.7x faster than a-priori and
+1.9x than K-Min; DMC-sim 5.9x faster than a-priori and 1.7x than
+Min-Hash.  Shapes, not absolutes, are asserted: DMC beats a-priori at
+the high threshold.
+"""
+
+from repro.baselines.apriori import (
+    apriori_pair_rules,
+    apriori_pair_similarity,
+)
+from repro.baselines.dhp import dhp_pair_rules
+from repro.baselines.kmin import kmin_implication_rules
+from repro.baselines.minhash import minhash_similarity_rules
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.experiments.figures import SCALED_BITMAP
+
+OPTIONS = PruningOptions(bitmap=SCALED_BITMAP)
+THRESHOLD = 0.85
+
+
+def test_fig6i_dmc_imp(benchmark, datasets):
+    matrix = datasets("NewsP")
+    rules = benchmark.pedantic(
+        find_implication_rules,
+        args=(matrix, THRESHOLD),
+        kwargs={"options": OPTIONS},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_fig6i_apriori(benchmark, datasets):
+    matrix = datasets("NewsP")
+    result = benchmark.pedantic(
+        apriori_pair_rules,
+        args=(matrix, THRESHOLD),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(result.rules)
+    benchmark.extra_info["counters"] = result.counters_used
+
+
+def test_fig6i_dhp(benchmark, datasets):
+    matrix = datasets("NewsP")
+    result = benchmark.pedantic(
+        dhp_pair_rules,
+        args=(matrix, THRESHOLD),
+        kwargs={"minsup_count": 2},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["counters"] = result.counters_used
+
+
+def test_fig6i_kmin(benchmark, datasets):
+    matrix = datasets("NewsP")
+    result = benchmark.pedantic(
+        kmin_implication_rules,
+        args=(matrix, THRESHOLD),
+        kwargs={"k": 40},
+        rounds=3,
+        iterations=1,
+    )
+    truth = find_implication_rules(matrix, THRESHOLD, options=OPTIONS)
+    benchmark.extra_info["false_negative_rate"] = round(
+        result.false_negative_rate(truth), 4
+    )
+    # The paper plots K-Min where false negatives stay under 10%.
+    assert result.false_negative_rate(truth) <= 0.10
+
+
+def test_fig6j_dmc_sim(benchmark, datasets):
+    matrix = datasets("NewsP")
+    rules = benchmark.pedantic(
+        find_similarity_rules,
+        args=(matrix, THRESHOLD),
+        kwargs={"options": OPTIONS},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_fig6j_apriori_similarity(benchmark, datasets):
+    matrix = datasets("NewsP")
+    result = benchmark.pedantic(
+        apriori_pair_similarity,
+        args=(matrix, THRESHOLD),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(result.rules)
+
+
+def test_fig6j_minhash(benchmark, datasets):
+    matrix = datasets("NewsP")
+    result = benchmark.pedantic(
+        minhash_similarity_rules,
+        args=(matrix, THRESHOLD),
+        kwargs={"k": 100},
+        rounds=3,
+        iterations=1,
+    )
+    truth = find_similarity_rules(matrix, THRESHOLD, options=OPTIONS)
+    benchmark.extra_info["false_negatives"] = len(
+        result.false_negatives(truth)
+    )
+
+
+class TestAgreementAndShape:
+    def test_exact_algorithms_agree(self, datasets):
+        matrix = datasets("NewsP")
+        dmc = find_implication_rules(
+            matrix, THRESHOLD, options=OPTIONS
+        ).pairs()
+        apriori = apriori_pair_rules(matrix, THRESHOLD).rules.pairs()
+        assert dmc == apriori
+
+    def test_similarity_algorithms_agree(self, datasets):
+        matrix = datasets("NewsP")
+        dmc = find_similarity_rules(
+            matrix, THRESHOLD, options=OPTIONS
+        ).pairs()
+        apriori = apriori_pair_similarity(matrix, THRESHOLD).rules.pairs()
+        assert dmc == apriori
+
+    def test_dmc_beats_apriori_at_high_threshold(self, datasets):
+        """The paper's headline direction at 85% (with timer slack)."""
+        import time
+
+        matrix = datasets("NewsP")
+        start = time.perf_counter()
+        find_implication_rules(matrix, THRESHOLD, options=OPTIONS)
+        dmc_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        apriori_pair_rules(matrix, THRESHOLD)
+        apriori_seconds = time.perf_counter() - start
+        assert dmc_seconds < apriori_seconds * 1.2

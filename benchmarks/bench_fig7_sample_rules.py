@@ -1,0 +1,51 @@
+"""Figure 7 — sample rules around 'polgar' from the news data.
+
+Benchmarks the full recipe under the paper's figure: mine News at 85%
+confidence with support-<5 columns pruned, then recursively expand the
+implication-rule graph from the keyword.  Asserts that the expansion
+reproduces the paper's rule families (polgar -> judit/chess/kasparov/
+champion/... and the second-hop families).
+"""
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.datasets.news import CHESS_RULE_FAMILIES
+from repro.experiments.figures import SCALED_BITMAP
+from repro.mining.grouping import expand_keyword
+
+OPTIONS = PruningOptions(bitmap=SCALED_BITMAP)
+
+
+def _mine_and_expand(matrix):
+    pruned = matrix.prune_columns_by_support(min_ones=5)
+    rules = find_implication_rules(pruned, 0.85, options=OPTIONS)
+    expanded = expand_keyword(
+        rules, "polgar", vocabulary=pruned.vocabulary, max_depth=2
+    )
+    return pruned, expanded
+
+
+def test_fig7_mine_and_expand(benchmark, datasets):
+    matrix = datasets("News")
+    pruned, expanded = benchmark.pedantic(
+        _mine_and_expand, args=(matrix,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["expanded_rules"] = len(expanded)
+    assert expanded
+
+
+def test_fig7_rule_families_reproduced(datasets):
+    matrix = datasets("News")
+    pruned, expanded = _mine_and_expand(matrix)
+    vocabulary = pruned.vocabulary
+    by_antecedent = {}
+    for rule in expanded:
+        by_antecedent.setdefault(
+            vocabulary.label_of(rule.antecedent), set()
+        ).add(vocabulary.label_of(rule.consequent))
+    polgar = by_antecedent.get("polgar", set())
+    expected = set(CHESS_RULE_FAMILIES["polgar"])
+    # Most of the paper's polgar-consequents appear.
+    assert len(polgar & expected) >= 0.7 * len(expected)
+    # The second hop reaches at least two other Figure 7 antecedents.
+    second_hop = set(by_antecedent) - {"polgar"}
+    assert len(second_hop & set(CHESS_RULE_FAMILIES)) >= 2

@@ -1,0 +1,92 @@
+"""The classic Quest (T10.I4-style) workload across all miners.
+
+Not a paper figure — the a-priori literature's standard synthetic
+benchmark, used here to compare every implication miner on neutral
+ground and to sanity-check that all exact miners agree on it.
+"""
+
+import pytest
+
+from repro.baselines.apriori import apriori_pair_rules
+from repro.baselines.dhp import dhp_pair_rules
+from repro.baselines.kmin import kmin_implication_rules
+from repro.baselines.sampling import sampled_implication_rules
+from repro.core.dmc_imp import find_implication_rules
+from repro.core.partitioned import find_implication_rules_partitioned
+from repro.datasets.quest import quest_t10i4
+
+THRESHOLD = 0.8
+
+
+@pytest.fixture(scope="module")
+def quest():
+    return quest_t10i4(n_transactions=1500, n_items=300, seed=2)
+
+
+def test_quest_dmc_imp(benchmark, quest):
+    rules = benchmark.pedantic(
+        find_implication_rules, args=(quest, THRESHOLD), rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_quest_apriori(benchmark, quest):
+    result = benchmark.pedantic(
+        apriori_pair_rules, args=(quest, THRESHOLD), rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(result.rules)
+
+
+def test_quest_dhp(benchmark, quest):
+    result = benchmark.pedantic(
+        dhp_pair_rules,
+        args=(quest, THRESHOLD),
+        kwargs={"minsup_count": 2},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["counters"] = result.counters_used
+
+
+def test_quest_partitioned(benchmark, quest):
+    rules = benchmark.pedantic(
+        find_implication_rules_partitioned,
+        args=(quest, THRESHOLD),
+        kwargs={"n_partitions": 4},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_quest_kmin(benchmark, quest):
+    result = benchmark.pedantic(
+        kmin_implication_rules,
+        args=(quest, THRESHOLD),
+        kwargs={"k": 40},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(result.rules)
+
+
+def test_quest_sampling(benchmark, quest):
+    result = benchmark.pedantic(
+        sampled_implication_rules,
+        args=(quest, THRESHOLD),
+        kwargs={"sample_fraction": 0.3},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(result.rules)
+
+
+def test_quest_exact_miners_agree(quest):
+    dmc = find_implication_rules(quest, THRESHOLD).pairs()
+    apriori = apriori_pair_rules(quest, THRESHOLD).rules.pairs()
+    partitioned = find_implication_rules_partitioned(
+        quest, THRESHOLD, n_partitions=4
+    ).pairs()
+    assert dmc == apriori == partitioned

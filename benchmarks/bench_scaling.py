@@ -1,0 +1,64 @@
+"""Scaling behaviour beyond the paper's figures.
+
+The paper closes by noting DMC needs divide-and-conquer to scale
+(Section 7).  These benchmarks measure how the implementation scales
+with rows, columns, and partitions — including the partitioned variant
+this repository adds — and assert the coarse shape (roughly linear in
+rows at fixed density).
+"""
+
+import time
+
+import pytest
+
+from repro.core.dmc_imp import find_implication_rules
+from repro.core.partitioned import find_implication_rules_partitioned
+from repro.datasets.synthetic import random_matrix
+
+DENSITY = 0.02
+COLUMNS = 250
+
+
+@pytest.mark.parametrize("n_rows", [1000, 2000, 4000])
+def test_scaling_rows(benchmark, n_rows):
+    matrix = random_matrix(n_rows, COLUMNS, DENSITY, seed=5)
+    rules = benchmark.pedantic(
+        find_implication_rules, args=(matrix, 0.8), rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+@pytest.mark.parametrize("n_columns", [100, 200, 400])
+def test_scaling_columns(benchmark, n_columns):
+    matrix = random_matrix(2000, n_columns, DENSITY, seed=6)
+    rules = benchmark.pedantic(
+        find_implication_rules, args=(matrix, 0.8), rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+@pytest.mark.parametrize("n_partitions", [1, 2, 4])
+def test_scaling_partitions(benchmark, n_partitions):
+    matrix = random_matrix(2000, COLUMNS, DENSITY, seed=7)
+    rules = benchmark.pedantic(
+        find_implication_rules_partitioned,
+        args=(matrix, 0.8),
+        kwargs={"n_partitions": n_partitions},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_scaling_is_roughly_linear_in_rows():
+    """4x the rows should cost well under 16x the time (i.e. the scan
+    is not quadratic in rows)."""
+    times = {}
+    for n_rows in (1000, 4000):
+        matrix = random_matrix(n_rows, COLUMNS, DENSITY, seed=8)
+        start = time.perf_counter()
+        find_implication_rules(matrix, 0.8)
+        times[n_rows] = time.perf_counter() - start
+    assert times[4000] < times[1000] * 16

@@ -1,0 +1,29 @@
+"""Table 1 — build the seven data sets and report their sizes.
+
+Regenerates the paper's Table 1 (at synthetic scale): every registry
+data set is generated and its rows/columns/nnz recorded as benchmark
+extra-info, so ``pytest benchmarks/bench_table1_datasets.py
+--benchmark-only`` prints the table the paper tabulates.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.datasets.registry import DATASETS
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_table1_generate(benchmark, name):
+    spec = DATASETS[name]
+    matrix = benchmark.pedantic(
+        spec.build,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["paper_rows"] = spec.paper_rows
+    benchmark.extra_info["paper_columns"] = spec.paper_columns
+    benchmark.extra_info["rows"] = matrix.n_rows
+    benchmark.extra_info["columns"] = matrix.n_columns
+    benchmark.extra_info["nnz"] = matrix.nnz
+    assert matrix.n_rows > 0 and matrix.nnz > 0

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures: datasets built once per session.
+
+Benchmarks default to the same scale as ``python -m repro`` so the
+printed numbers and the pytest-benchmark numbers describe the same
+workload; set a smaller BENCH_SCALE env var for a quick pass.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """Name -> matrix cache, built lazily."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = load_dataset(
+                name, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+        return cache[name]
+
+    return get

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Web-access-log mining with memory instrumentation (Sections 4 and 6).
+
+Mines the synthetic Wlog data set and shows the machinery the paper's
+evaluation measures: the sparsest-first row re-ordering's memory
+savings, the phase breakdown, and the effect of the DMC-bitmap switch —
+then prints the strongest navigation rules.
+
+Run:  python examples/access_log_insights.py
+"""
+
+from repro import (
+    BitmapConfig,
+    PipelineStats,
+    PruningOptions,
+    find_implication_rules,
+)
+from repro.datasets.weblog import generate_weblog
+
+
+def main() -> None:
+    log = generate_weblog(n_clients=4000, n_urls=900, seed=5)
+    print(
+        f"access log: {log.n_rows} clients x {log.n_columns} URLs, "
+        f"{log.nnz} hits"
+    )
+    densities = log.row_densities()
+    print(
+        f"row densities: median {int(sorted(densities)[len(densities)//2])}"
+        f", max {int(densities.max())} (crawlers)"
+    )
+
+    # Section 4.1: scanning sparsest rows first cuts peak memory.
+    peaks = {}
+    for label, reorder in (("original", False), ("sparsest-first", True)):
+        stats = PipelineStats()
+        find_implication_rules(
+            log,
+            1,
+            options=PruningOptions(row_reordering=reorder, bitmap=None),
+            stats=stats,
+        )
+        peaks[label] = stats.peak_bytes
+        print(f"100%-rule pass, {label:15s}: peak {stats.peak_bytes:,} B")
+    print(
+        f"re-ordering saves "
+        f"{peaks['original'] / peaks['sparsest-first']:.1f}x memory"
+    )
+
+    # Full pipeline at 85% with a scaled DMC-bitmap switch.
+    options = PruningOptions(
+        bitmap=BitmapConfig(switch_rows=64, memory_budget_bytes=32 * 1024)
+    )
+    stats = PipelineStats()
+    rules = find_implication_rules(log, 0.85, options=options, stats=stats)
+    print(f"\nmined {len(rules)} rules at 85% confidence; phase breakdown:")
+    for phase, seconds in stats.breakdown().items():
+        print(f"  {phase:12s} {seconds:7.3f}s")
+    switched = stats.partial_scan.bitmap_switch_at is not None
+    print(f"DMC-bitmap tail engaged: {switched}")
+
+    print("\nstrongest navigation rules among popular pages:")
+    ones = log.column_ones()
+    strong = [
+        rule
+        for rule in rules
+        if ones[rule.antecedent] >= 15 and rule.confidence >= 0.95
+    ]
+    for rule in sorted(strong, key=lambda r: -int(ones[r.antecedent]))[:8]:
+        print(
+            f"  {rule.format(log.vocabulary)} "
+            f"[antecedent visits: {ones[rule.antecedent]}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

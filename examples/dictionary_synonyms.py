@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's dictionary use case: find head words defined alike.
+
+Columns are head words, rows are definition words; similar columns are
+words whose definitions use nearly the same vocabulary ("brother-in-law"
+and "sister-in-law" in the paper).  The example also contrasts DMC-sim
+with Min-Hash on the same task: Min-Hash is approximate and can miss
+pairs, DMC-sim never does.
+
+Run:  python examples/dictionary_synonyms.py
+"""
+
+from repro import find_similarity_rules, minhash_similarity_rules
+from repro.datasets.dictionary import generate_dictionary
+
+
+def main() -> None:
+    dictionary = generate_dictionary(
+        n_head_words=1200, n_definition_words=600, seed=3
+    )
+    print(
+        f"dictionary: {dictionary.n_columns} head words defined with "
+        f"{dictionary.n_rows} distinct definition words"
+    )
+
+    rules = find_similarity_rules(dictionary, minsim=0.7)
+    print(f"\nDMC-sim found {len(rules)} synonym candidates at 70%:")
+    for rule in sorted(
+        rules, key=lambda r: -r.similarity
+    )[:10]:
+        print("  " + rule.format(dictionary.vocabulary))
+
+    # Min-Hash on the same task: exact verification means no false
+    # positives, but candidates below the estimate cut are lost.
+    minhash = minhash_similarity_rules(dictionary, 0.7, k=50, seed=1)
+    missed = minhash.false_negatives(rules)
+    print(
+        f"\nMin-Hash (k=50) reported {len(minhash.rules)} pairs, "
+        f"missing {len(missed)} true pairs; DMC-sim misses none"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: mine implication and similarity rules from transactions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BinaryMatrix,
+    find_implication_rules,
+    find_similarity_rules,
+)
+
+
+def main() -> None:
+    # A toy market-basket data set.  Rows are baskets, columns items.
+    baskets = [
+        ["bread", "butter"],
+        ["bread", "butter", "jam"],
+        ["bread", "butter", "milk"],
+        ["bread", "milk"],
+        ["beer", "chips"],
+        ["beer", "chips", "salsa"],
+        ["beer", "chips"],
+        ["salsa", "chips"],
+        ["milk"],
+        ["jam", "butter"],
+    ]
+    matrix = BinaryMatrix.from_transactions(baskets)
+    print(
+        f"matrix: {matrix.n_rows} baskets x {matrix.n_columns} items, "
+        f"{matrix.nnz} entries\n"
+    )
+
+    # Implication rules: "customers who buy X almost always buy Y".
+    # DMC needs no support threshold — rare items participate too.
+    print("implication rules at 75% confidence:")
+    for rule in find_implication_rules(matrix, minconf=0.75).sorted():
+        print("  " + rule.format(matrix.vocabulary))
+
+    # Similarity rules: items bought by nearly the same baskets.
+    print("\nsimilar item pairs at 50% Jaccard similarity:")
+    for rule in find_similarity_rules(matrix, minsim=0.5).sorted():
+        print("  " + rule.format(matrix.vocabulary))
+
+    # Everything is exact: confidences are fractions, not floats.
+    rules = find_implication_rules(matrix, minconf=0.75)
+    example = rules.sorted()[0]
+    print(
+        f"\nexact confidence of {example.format(matrix.vocabulary)}: "
+        f"{example.hits}/{example.ones} = {example.confidence}"
+    )
+
+
+if __name__ == "__main__":
+    main()

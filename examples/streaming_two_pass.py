@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Two-pass streaming over an on-disk transactions file.
+
+The paper's selling point is "only two passes through the data and
+realistic amounts of main memory".  This example writes a data set to
+disk, then mines it without ever holding the matrix in memory: pass 1
+counts column frequencies while spilling rows into density-bucket
+files (Section 4.1's bucketing), pass 2 replays the buckets
+sparsest-first through the miss-counting engine.
+
+Run:  python examples/streaming_two_pass.py
+"""
+
+import os
+import tempfile
+
+from repro import find_implication_rules, load_dataset
+from repro.matrix.io import save_transactions
+from repro.matrix.stream import FileSource, stream_implication_rules
+
+
+def main() -> None:
+    matrix = load_dataset("Wlog", scale=1.0, seed=2)
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "weblog.txt")
+        # Streaming mode works on numeric ids; strip the vocabulary.
+        matrix.vocabulary = None
+        save_transactions(matrix, path)
+        size_kb = os.path.getsize(path) / 1024
+        print(f"wrote {matrix.n_rows} rows to {path} ({size_kb:.0f} KiB)")
+
+        rules = stream_implication_rules(FileSource(path), minconf=0.9)
+        print(f"streamed two passes: {len(rules)} rules at 90% confidence")
+
+        # Equivalent to the in-memory pipeline, rule for rule.
+        in_memory = find_implication_rules(matrix, 0.9)
+        assert rules.pairs() == in_memory.pairs()
+        print("verified: identical to the in-memory pipeline")
+
+        strongest = [r for r in rules.sorted() if r.ones >= 12][:5]
+        print("\nsample rules from well-supported antecedents:")
+        for rule in strongest:
+            print(f"  {rule.format()}")
+
+
+if __name__ == "__main__":
+    main()

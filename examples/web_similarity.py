@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Example 1.1 from the paper: find similar pages in a web-link graph.
+
+The page-link graph becomes a binary matrix (rows = sources, columns =
+destinations for plinkF; transposed for plinkT).  Mining similar
+columns of plinkT finds pages with near-identical out-link sets —
+template/mirror pages — which support pruning would miss because most
+pages have only a handful of links.
+
+Run:  python examples/web_similarity.py
+"""
+
+from repro import PruningOptions, find_similarity_rules
+from repro.core.stats import PipelineStats
+from repro.datasets.weblink import generate_weblink
+from repro.mining.grouping import similarity_components
+
+
+def main() -> None:
+    matrix = generate_weblink(
+        n_pages=1500,
+        n_templates=12,
+        template_pages=6,
+        orientation="T",
+        seed=7,
+    )
+    print(
+        f"link graph: {matrix.n_rows} x {matrix.n_columns}, "
+        f"{matrix.nnz} links"
+    )
+
+    stats = PipelineStats()
+    rules = find_similarity_rules(
+        matrix, minsim=0.8, options=PruningOptions(), stats=stats
+    )
+    print(
+        f"mined {len(rules)} similar page pairs at 80% similarity "
+        f"in {stats.total_seconds:.2f}s "
+        f"(peak counter memory: {stats.peak_bytes:,} bytes)"
+    )
+
+    # Group pairwise-similar pages into clusters (Section 7's idea).
+    clusters = similarity_components(rules)
+    print(f"\n{len(clusters)} page clusters; largest five:")
+    for cluster in clusters[:5]:
+        pages = sorted(
+            matrix.vocabulary.label_of(page) for page in cluster
+        )
+        preview = ", ".join(pages[:4])
+        suffix = ", ..." if len(pages) > 4 else ""
+        print(f"  {len(pages):3d} pages: {preview}{suffix}")
+
+    # Low-support pages participate: show the sparsest mined pair.
+    ones = matrix.column_ones()
+    sparsest = min(rules, key=lambda r: int(ones[r.first]))
+    print(
+        f"\nsparsest similar pair: {sparsest.format(matrix.vocabulary)} "
+        f"with only {ones[sparsest.first]} in-matrix links — a pair "
+        "support pruning would have discarded"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml.  This file exists so that editable
+installs work in offline environments lacking the ``wheel`` package
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Comparator algorithms from the paper's evaluation (Section 6.2).
+
+- :mod:`~repro.baselines.bruteforce` — exact all-pairs oracle via a
+  sparse co-occurrence product; the ground truth every test compares
+  against.
+- :mod:`~repro.baselines.apriori` — support-pruned pair mining plus a
+  general level-wise frequent-itemset miner (Agrawal & Srikant).
+- :mod:`~repro.baselines.dhp` — hash-bucket candidate pruning on top of
+  a-priori's pair pass (Park, Chen & Yu).
+- :mod:`~repro.baselines.minhash` — k min-hash signatures + LSH banding
+  + exact verification for similarity pairs (Cohen et al.).
+- :mod:`~repro.baselines.kmin` — bottom-k row sketches estimating
+  confidence for implication rules (the paper's "K-Min").
+"""
+
+from repro.baselines.apriori import (
+    AprioriResult,
+    AprioriSimilarityResult,
+    apriori_frequent_itemsets,
+    apriori_pair_rules,
+    apriori_pair_similarity,
+    association_rules_from_itemsets,
+)
+from repro.baselines.bruteforce import (
+    cooccurrence_counts,
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.baselines.dhp import DhpResult, dhp_pair_rules
+from repro.baselines.kmin import KMinResult, kmin_implication_rules
+from repro.baselines.minhash import (
+    MinHashResult,
+    minhash_signatures,
+    minhash_similarity_rules,
+)
+from repro.baselines.sampling import (
+    SamplingResult,
+    sampled_implication_rules,
+)
+
+__all__ = [
+    "AprioriResult",
+    "AprioriSimilarityResult",
+    "DhpResult",
+    "KMinResult",
+    "MinHashResult",
+    "SamplingResult",
+    "apriori_frequent_itemsets",
+    "apriori_pair_rules",
+    "apriori_pair_similarity",
+    "association_rules_from_itemsets",
+    "cooccurrence_counts",
+    "dhp_pair_rules",
+    "implication_rules_bruteforce",
+    "kmin_implication_rules",
+    "minhash_signatures",
+    "minhash_similarity_rules",
+    "sampled_implication_rules",
+    "similarity_rules_bruteforce",
+]

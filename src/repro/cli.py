@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+Two families of commands:
+
+- experiment replay (``python -m repro table1``, ``fig6ab``, ``all``,
+  ``list``) — regenerate the paper's tables and figures on synthetic
+  data;
+- mining utilities — run DMC on your own transactions file or write a
+  synthetic data set to disk:
+
+  ::
+
+      python -m repro generate News --out news.txt --scale 0.5
+      python -m repro mine-imp news.txt --minconf 0.9
+      python -m repro mine-sim news.txt --minsim 0.75 --limit 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    render_table,
+    run_experiment,
+)
+
+_EXPERIMENT_COMMANDS = ("list", "all") + tuple(EXPERIMENTS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dynamic Miss-Counting rule mining (ICDE 2000 reproduction): "
+            "replay the paper's experiments or mine your own data."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in _EXPERIMENT_COMMANDS:
+        if name == "list":
+            help_text = "list the available experiments"
+        elif name == "all":
+            help_text = "run every experiment"
+        else:
+            doc = EXPERIMENTS[name].__doc__ or ""
+            help_text = doc.strip().splitlines()[0]
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--scale", type=float, default=1.0,
+            help="dataset scale factor (default 1.0)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0,
+            help="generator seed (default 0)",
+        )
+
+    mine_imp = subparsers.add_parser(
+        "mine-imp", help="mine implication rules from a transactions file"
+    )
+    mine_imp.add_argument("path", help="transactions file (see matrix/io)")
+    mine_imp.add_argument(
+        "--minconf", type=float, default=0.9,
+        help="confidence threshold in (0, 1] (default 0.9)",
+    )
+    mine_imp.add_argument(
+        "--limit", type=int, default=50,
+        help="print at most this many rules (default 50)",
+    )
+
+    mine_sim = subparsers.add_parser(
+        "mine-sim", help="mine similar column pairs from a transactions file"
+    )
+    mine_sim.add_argument("path", help="transactions file (see matrix/io)")
+    mine_sim.add_argument(
+        "--minsim", type=float, default=0.75,
+        help="similarity threshold in (0, 1] (default 0.75)",
+    )
+    mine_sim.add_argument(
+        "--limit", type=int, default=50,
+        help="print at most this many pairs (default 50)",
+    )
+    for sub in (mine_imp, mine_sim):
+        sub.add_argument(
+            "--summary", action="store_true",
+            help="print aggregate statistics instead of rules",
+        )
+
+    mine_topk = subparsers.add_parser(
+        "mine-topk",
+        help="mine the k strongest implication rules from a file",
+    )
+    mine_topk.add_argument("path", help="transactions file")
+    mine_topk.add_argument(
+        "-k", type=int, default=20, help="rule count target (default 20)"
+    )
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic data set as a transactions file"
+    )
+    generate.add_argument(
+        "name", help="registry data set (Wlog, plinkT, News, dicD, ...)"
+    )
+    generate.add_argument("--out", required=True, help="output path")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    check = subparsers.add_parser(
+        "check",
+        help="run the reproduction scorecard (one qualitative claim "
+             "per paper figure)",
+    )
+    check.add_argument("--scale", type=float, default=1.0)
+    check.add_argument("--seed", type=int, default=0)
+
+    report = subparsers.add_parser(
+        "report",
+        help="run every experiment and write a markdown results report",
+    )
+    report.add_argument("--out", required=True, help="output .md path")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", nargs="*", default=None,
+        help="restrict to these experiment ids",
+    )
+
+    return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        for experiment_id, fn in EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:12s} {summary}")
+        return 0
+    ids = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    for experiment_id in ids:
+        result = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed
+        )
+        print(render_table(result))
+        print()
+    return 0
+
+
+def _mine(args: argparse.Namespace) -> int:
+    from repro.core.dmc_imp import find_implication_rules
+    from repro.core.dmc_sim import find_similarity_rules
+    from repro.matrix.io import load_transactions
+
+    try:
+        matrix = load_transactions(args.path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+
+    if args.command == "mine-imp":
+        rules = find_implication_rules(matrix, args.minconf)
+        kind = f"implication rules at minconf={args.minconf}"
+    elif args.command == "mine-topk":
+        from repro.core.topk import top_k_implication_rules
+
+        rules, cut = top_k_implication_rules(matrix, args.k)
+        cut_text = "none" if cut is None else f"{cut} ({float(cut):.3f})"
+        kind = f"strongest rules (k={args.k}, cut={cut_text})"
+    else:
+        rules = find_similarity_rules(matrix, args.minsim)
+        kind = f"similar pairs at minsim={args.minsim}"
+
+    if getattr(args, "summary", False):
+        from repro.mining.summarize import summarize_rules
+
+        print(f"summary of {kind}:")
+        print(summarize_rules(rules, matrix.vocabulary).render())
+        return 0
+
+    ordered = rules.sorted()
+    limit = getattr(args, "limit", 50)
+    print(f"{len(ordered)} {kind}")
+    for rule in ordered[:limit]:
+        print("  " + rule.format(matrix.vocabulary))
+    if len(ordered) > limit:
+        print(f"  ... and {len(ordered) - limit} more")
+    return 0
+
+
+def _generate(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import DATASETS, load_dataset
+    from repro.matrix.io import save_transactions
+
+    if args.name not in DATASETS:
+        names = ", ".join(DATASETS)
+        print(
+            f"unknown data set {args.name!r}; choose from: {names}",
+            file=sys.stderr,
+        )
+        return 2
+    matrix = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    save_transactions(matrix, args.out)
+    print(
+        f"wrote {args.name} ({matrix.n_rows} rows x "
+        f"{matrix.n_columns} columns, {matrix.nnz} ones) to {args.out}"
+    )
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    try:
+        count = write_report(
+            args.out,
+            scale=args.scale,
+            seed=args.seed,
+            experiment_ids=args.only,
+        )
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"wrote {count} experiments to {args.out}")
+    return 0
+
+
+def _check(args: argparse.Namespace) -> int:
+    from repro.experiments.shapes import render_scorecard, run_all_checks
+
+    checks = run_all_checks(scale=args.scale, seed=args.seed)
+    print(render_scorecard(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is correct.
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in _EXPERIMENT_COMMANDS:
+        return _run_experiments(args)
+    if args.command in ("mine-imp", "mine-sim", "mine-topk"):
+        return _mine(args)
+    if args.command == "generate":
+        return _generate(args)
+    if args.command == "report":
+        return _report(args)
+    if args.command == "check":
+        return _check(args)
+    parser.error(f"unhandled command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""The DMC-bitmap low-memory tail (Algorithm 4.1).
+
+Scanning the densest rows last (Section 4.1) concentrates candidate
+creation at the end of the scan, which can explode the counter array
+(Figure 3).  When the switch rule fires, the remaining rows are packed
+into per-column bitmaps and the scan finishes in two phases:
+
+- **Phase 1** — columns whose ``cnt`` already exceeds their add cutoff
+  can gain no new candidates, so each existing candidate's final miss
+  count is its current count plus ``popcount(bm(c_j) & ~bm(c_k))``.
+- **Phase 2** — columns that could still gain candidates are finished
+  by *hit* counting: initialize ``hit(c_k) = cnt(c_j) - mis(c_j, c_k)``
+  for existing candidates, then walk the remaining rows containing
+  ``c_j`` and increment the hit counter of every eligible co-occurring
+  column (discovering brand-new candidates along the way).
+
+A column not on ``c_j``'s list at switch time either never co-occurred
+with ``c_j`` (so its prior hits are exactly zero and Phase 2 counts it
+correctly) or was pruned because the pair is permanently invalid (then
+Phase 2's hit count under-states the true hits, the computed miss count
+over-states the true misses, and the final exact validity test still
+rejects it) — so the tail preserves DMC's zero-error guarantee.
+
+The same tail serves every policy, including the identical-column
+variant of DMC-sim step 2 (where the bitmap comparison the paper
+describes is the special case "zero misses in both directions with
+equal cardinalities").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.candidates import CandidateArray
+from repro.core.policies import PairPolicy
+from repro.core.rules import RuleSet
+from repro.core.stats import ScanStats
+from repro.matrix.ops import pack_rows
+
+
+def bitmap_tail(
+    remaining_rows: Sequence[Tuple[int, Tuple[int, ...]]],
+    policy: PairPolicy,
+    count: List[int],
+    cand: CandidateArray,
+    rules: RuleSet,
+    stats: ScanStats,
+) -> None:
+    """Finish a miss-counting scan over ``remaining_rows`` using bitmaps.
+
+    ``count`` holds ``cnt(c_j)`` as of the switch point; ``cand`` holds
+    the live candidate lists.  Mined rules are appended to ``rules`` and
+    the tail's measurements recorded on ``stats``.
+    """
+    started = time.perf_counter()
+    bitmaps = pack_rows(remaining_rows)
+    stats.bitmap_bytes = bitmaps.memory_bytes()
+    ones = policy.ones
+
+    # Phase 1: closed columns — bitmap miss counting per candidate.
+    for column_j in list(cand.open_columns()):
+        if count[column_j] <= policy.add_cutoff(column_j):
+            continue
+        stats.bitmap_phase1_columns += 1
+        for candidate_k, misses in cand.items(column_j):
+            final_misses = misses + bitmaps.misses(column_j, candidate_k)
+            rule = policy.make_rule(column_j, candidate_k, final_misses)
+            if rule is not None:
+                rules.add(rule)
+                stats.rules_emitted += 1
+        cand.release(column_j)
+
+    # Phase 2: open columns — row-driven hit counting.
+    hits_by_column: Dict[int, Dict[int, int]] = {}
+    for column_j in list(cand.open_columns()):
+        hits_by_column[column_j] = {
+            candidate_k: count[column_j] - misses
+            for candidate_k, misses in cand.items(column_j)
+        }
+        cand.release(column_j)
+
+    for _, row in remaining_rows:
+        for column_j in row:
+            hits = hits_by_column.get(column_j)
+            if hits is None:
+                if count[column_j] > policy.add_cutoff(column_j):
+                    continue
+                # First occurrence of c_j lies in the remaining rows.
+                hits = {}
+                hits_by_column[column_j] = hits
+            for candidate_k in row:
+                if candidate_k == column_j:
+                    continue
+                existing = hits.get(candidate_k)
+                if existing is None:
+                    if not policy.eligible(column_j, candidate_k):
+                        continue
+                    hits[candidate_k] = 1
+                else:
+                    hits[candidate_k] = existing + 1
+
+    stats.bitmap_phase2_columns = len(hits_by_column)
+    for column_j, hits in hits_by_column.items():
+        for candidate_k, hit_count in hits.items():
+            final_misses = ones[column_j] - hit_count
+            rule = policy.make_rule(column_j, candidate_k, final_misses)
+            if rule is not None:
+                rules.add(rule)
+                stats.rules_emitted += 1
+
+    stats.bitmap_seconds += time.perf_counter() - started

@@ -1,0 +1,116 @@
+"""The counter array: per-column candidate lists with miss counters.
+
+This is the central data structure of DMC (Figure 2(b) of the paper):
+for each column ``c_j`` that is still "open", a list of candidate
+columns ``c_k`` with the number of misses of ``c_j`` against ``c_k``
+observed so far.  The structure also carries the memory model used by
+the paper's Figure 3 and Figure 6(g)/(h) experiments: each candidate
+entry costs a column id plus a miss counter, and each live list costs a
+small fixed overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Bytes charged per candidate entry: a 4-byte column id + 4-byte counter.
+BYTES_PER_ENTRY = 8
+
+#: Bytes charged per live candidate list (header/pointer overhead).
+BYTES_PER_LIST = 16
+
+
+class CandidateArray:
+    """All live candidate lists, keyed by the antecedent column id."""
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, Dict[int, int]] = {}
+        self._entries = 0
+        self.peak_entries = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    # List lifecycle
+    # ------------------------------------------------------------------
+
+    def get(self, column: int) -> Optional[Dict[int, int]]:
+        """Return the candidate list for ``column``, or None."""
+        return self._lists.get(column)
+
+    def ensure(self, column: int) -> Dict[int, int]:
+        """Return the list for ``column``, creating an empty one if needed."""
+        existing = self._lists.get(column)
+        if existing is not None:
+            return existing
+        created: Dict[int, int] = {}
+        self._lists[column] = created
+        self._note_memory()
+        return created
+
+    def release(self, column: int) -> None:
+        """Free the list for ``column`` (after its rules were emitted)."""
+        released = self._lists.pop(column, None)
+        if released is not None:
+            self._entries -= len(released)
+
+    def has_list(self, column: int) -> bool:
+        """True when ``column`` currently owns a candidate list."""
+        return column in self._lists
+
+    def open_columns(self) -> Iterator[int]:
+        """Yield the ids of columns that own a live list."""
+        return iter(self._lists)
+
+    # ------------------------------------------------------------------
+    # Entry operations
+    # ------------------------------------------------------------------
+
+    def add(self, column: int, candidate: int, misses: int) -> None:
+        """Insert ``candidate`` into ``column``'s list with ``misses``."""
+        self._lists[column][candidate] = misses
+        self._entries += 1
+        self._note_memory()
+
+    def remove(self, column: int, candidate: int) -> None:
+        """Delete ``candidate`` from ``column``'s list."""
+        del self._lists[column][candidate]
+        self._entries -= 1
+
+    def items(self, column: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(candidate, misses)`` pairs for ``column``."""
+        candidate_list = self._lists.get(column)
+        if candidate_list:
+            yield from candidate_list.items()
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+
+    @property
+    def total_entries(self) -> int:
+        """Current number of candidate entries across all lists."""
+        return self._entries
+
+    @property
+    def n_lists(self) -> int:
+        """Current number of live lists."""
+        return len(self._lists)
+
+    def memory_bytes(self) -> int:
+        """Modelled bytes of the counter array (paper's memory metric)."""
+        return (
+            self._entries * BYTES_PER_ENTRY + len(self._lists) * BYTES_PER_LIST
+        )
+
+    def _note_memory(self) -> None:
+        if self._entries > self.peak_entries:
+            self.peak_entries = self._entries
+        current = self.memory_bytes()
+        if current > self.peak_bytes:
+            self.peak_bytes = current
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateArray(lists={len(self._lists)}, "
+            f"entries={self._entries}, bytes={self.memory_bytes()})"
+        )

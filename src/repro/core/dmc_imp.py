@@ -1,0 +1,132 @@
+"""DMC-imp: the full implication-rule pipeline (Algorithm 4.2).
+
+Steps, as in the paper:
+
+1. Pre-scan: count ``ones(c_i)`` and bucket rows by density (Section
+   4.1) so the second scan reads sparsest rows first.
+2. Extract 100%-confidence rules with the simplified (id-set) scan and
+   its bitmap tail.
+3. Remove every column whose miss budget is zero — such columns can only
+   participate in 100% rules, which step 2 already found.  (We use the
+   exact ``maxmiss == 0`` cutoff; see DESIGN.md on the paper's
+   off-by-one.)
+4. Extract the remaining ``>= minconf`` rules with DMC-base + DMC-bitmap
+   over the restricted matrix, and merge with step 2's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.miss_counting import (
+    BitmapConfig,
+    miss_counting_scan,
+    zero_miss_scan,
+)
+from repro.core.policies import HundredPercentPolicy, ImplicationPolicy
+from repro.core.rules import RuleSet
+from repro.core.stats import PipelineStats
+from repro.core.thresholds import as_fraction, confidence_removal_cutoff
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.matrix.reorder import scan_order
+
+
+@dataclass(frozen=True)
+class PruningOptions:
+    """Toggles for the paper's optimizations (ablation benchmarks).
+
+    Every toggle is semantics-preserving: disabling one changes time and
+    memory, never the mined rules.
+    """
+
+    #: Section 4.1 — scan sparsest density buckets first.
+    row_reordering: bool = True
+    #: Section 4.3 — split mining into a 100%-rule pass plus a
+    #: low-frequency column removal before the <100% pass.
+    hundred_percent_pass: bool = True
+    #: Section 4.2 — switch to DMC-bitmap near the end of the scan
+    #: (None disables the switch entirely).
+    bitmap: Optional[BitmapConfig] = field(default_factory=BitmapConfig)
+    #: Section 5.1 — drop pairs whose cardinality ratio is below minsim
+    #: (similarity mining only).
+    density_pruning: bool = True
+    #: Section 5.2 — drop pairs whose best achievable similarity is
+    #: below minsim (similarity mining only).
+    max_hits_pruning: bool = True
+
+
+def find_implication_rules(
+    matrix: BinaryMatrix,
+    minconf,
+    options: Optional[PruningOptions] = None,
+    stats: Optional[PipelineStats] = None,
+) -> RuleSet:
+    """Mine every canonical rule with confidence ``>= minconf``.
+
+    This is the library's primary implication-mining entry point.  The
+    result is exact: no false positives, no false negatives (within the
+    paper's canonical-direction convention, Section 2).
+    """
+    minconf = as_fraction(minconf)
+    if options is None:
+        options = PruningOptions()
+    if stats is None:
+        stats = PipelineStats()
+
+    with stats.timer.phase("pre-scan"):
+        ones = matrix.column_ones()
+        order = scan_order(matrix, sparsest_first=options.row_reordering)
+        stats.columns_total = matrix.n_columns
+
+    rules = RuleSet()
+
+    if not options.hundred_percent_pass:
+        # Ablation: one combined pass over the full matrix.
+        with stats.timer.phase("combined"):
+            policy = ImplicationPolicy(ones, minconf)
+            miss_counting_scan(
+                matrix,
+                policy,
+                order=order,
+                stats=stats.partial_scan,
+                bitmap=options.bitmap,
+                rules=rules,
+            )
+        stats.rules_partial = len(rules)
+        return rules
+
+    with stats.timer.phase("100%-rules"):
+        zero_miss_scan(
+            matrix,
+            HundredPercentPolicy(ones),
+            order=order,
+            stats=stats.hundred_percent_scan,
+            bitmap=options.bitmap,
+            rules=rules,
+        )
+        stats.rules_hundred_percent = len(rules)
+
+    if minconf == 1:
+        return rules
+
+    with stats.timer.phase("<100%-rules"):
+        cutoff = confidence_removal_cutoff(minconf)
+        keep = [c for c in range(matrix.n_columns) if ones[c] > cutoff]
+        stats.columns_removed = matrix.n_columns - len(keep)
+        restricted = matrix.restrict_columns(keep)
+        restricted_order = scan_order(
+            restricted, sparsest_first=options.row_reordering
+        )
+        policy = ImplicationPolicy(restricted.column_ones(), minconf)
+        miss_counting_scan(
+            restricted,
+            policy,
+            order=restricted_order,
+            stats=stats.partial_scan,
+            bitmap=options.bitmap,
+            rules=rules,
+        )
+        stats.rules_partial = len(rules) - stats.rules_hundred_percent
+
+    return rules

@@ -1,0 +1,112 @@
+"""DMC-sim: the full similarity-rule pipeline (Algorithm 5.1).
+
+Steps, as in the paper:
+
+1. Pre-scan and density bucketing (shared with DMC-imp).
+2. Extract 100%-similar (identical) columns: only equal-cardinality
+   pairs are candidates and no miss is allowed.
+3. Remove every column too sparse for any *non-identical* pair to reach
+   ``minsim`` (best case is ``ones/(ones+1)``; exact cutoff, see
+   DESIGN.md on the paper's off-by-one).
+4. Extract the remaining ``>= minsim`` pairs with DMC-base + DMC-bitmap
+   under the similarity policy, which adds the Section 5.1
+   column-density pruning (as negative pair budgets) and the Section 5.2
+   maximum-hits pruning (as the dynamic check).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dmc_imp import PruningOptions
+from repro.core.miss_counting import miss_counting_scan, zero_miss_scan
+from repro.core.policies import IdentityPolicy, SimilarityPolicy
+from repro.core.rules import RuleSet
+from repro.core.stats import PipelineStats
+from repro.core.thresholds import as_fraction, similarity_removal_cutoff
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.matrix.reorder import scan_order
+
+
+def find_similarity_rules(
+    matrix: BinaryMatrix,
+    minsim,
+    options: Optional[PruningOptions] = None,
+    stats: Optional[PipelineStats] = None,
+) -> RuleSet:
+    """Mine every column pair with similarity ``>= minsim``.
+
+    This is the library's primary similarity-mining entry point.  The
+    result is exact: no false positives, no false negatives.
+    """
+    minsim = as_fraction(minsim)
+    if options is None:
+        options = PruningOptions()
+    if stats is None:
+        stats = PipelineStats()
+
+    with stats.timer.phase("pre-scan"):
+        ones = matrix.column_ones()
+        order = scan_order(matrix, sparsest_first=options.row_reordering)
+        stats.columns_total = matrix.n_columns
+
+    rules = RuleSet()
+
+    if not options.hundred_percent_pass:
+        with stats.timer.phase("combined"):
+            policy = SimilarityPolicy(
+                ones,
+                minsim,
+                use_density_pruning=options.density_pruning,
+                use_max_hits_pruning=options.max_hits_pruning,
+            )
+            miss_counting_scan(
+                matrix,
+                policy,
+                order=order,
+                stats=stats.partial_scan,
+                bitmap=options.bitmap,
+                rules=rules,
+            )
+        stats.rules_partial = len(rules)
+        return rules
+
+    with stats.timer.phase("100%-rules"):
+        zero_miss_scan(
+            matrix,
+            IdentityPolicy(ones),
+            order=order,
+            stats=stats.hundred_percent_scan,
+            bitmap=options.bitmap,
+            rules=rules,
+        )
+        stats.rules_hundred_percent = len(rules)
+
+    if minsim == 1:
+        return rules
+
+    with stats.timer.phase("<100%-rules"):
+        cutoff = similarity_removal_cutoff(minsim)
+        keep = [c for c in range(matrix.n_columns) if ones[c] > cutoff]
+        stats.columns_removed = matrix.n_columns - len(keep)
+        restricted = matrix.restrict_columns(keep)
+        restricted_order = scan_order(
+            restricted, sparsest_first=options.row_reordering
+        )
+        policy = SimilarityPolicy(
+            restricted.column_ones(),
+            minsim,
+            use_density_pruning=options.density_pruning,
+            use_max_hits_pruning=options.max_hits_pruning,
+        )
+        miss_counting_scan(
+            restricted,
+            policy,
+            order=restricted_order,
+            stats=stats.partial_scan,
+            bitmap=options.bitmap,
+            rules=rules,
+        )
+        stats.rules_partial = len(rules) - stats.rules_hundred_percent
+
+    return rules

@@ -1,0 +1,324 @@
+"""The DMC-base scan engine (Algorithm 3.1) and its 100%-rule fast path.
+
+``miss_counting_scan`` performs the second data scan: for every row and
+every column ``c_j`` set in that row it
+
+- creates ``c_j``'s candidate list at the column's first occurrence,
+- adds newly co-occurring eligible columns while ``cnt(c_j)`` is small
+  enough that a fresh candidate could still be valid (its initial miss
+  count is ``cnt(c_j)`` — it missed every earlier row where ``c_j`` was
+  set),
+- increments the miss counter of every candidate absent from the row and
+  deletes a candidate the moment its counter exceeds the pair budget,
+- and, once ``cnt(c_j)`` reaches ``ones(c_j)``, emits every surviving
+  candidate as a rule and frees the list (step 3(b)).
+
+All variant-specific behaviour lives in the
+:class:`~repro.core.policies.PairPolicy`.  If a
+:class:`BitmapConfig` is supplied the scan hands over to the DMC-bitmap
+tail (:mod:`repro.core.bitmap`) when few rows remain and the counter
+array has outgrown its budget (Section 4.4's switch rule).
+
+``zero_miss_scan`` is the Section 4.3 specialization for 100% rules: no
+miss counters at all — candidate lists are plain id sets, intersected
+with each row — and no candidate is ever added after a column's first
+occurrence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bitmap import bitmap_tail
+from repro.core.candidates import BYTES_PER_LIST, CandidateArray
+from repro.core.policies import PairPolicy
+from repro.core.rules import RuleSet
+from repro.core.stats import ScanStats
+from repro.matrix.binary_matrix import BinaryMatrix
+
+#: Bytes charged per id-only candidate entry in the zero-miss scan.
+BYTES_PER_ID = 4
+
+
+@dataclass(frozen=True)
+class BitmapConfig:
+    """When to switch from DMC-base to the DMC-bitmap tail.
+
+    The paper switches when at most ``switch_rows`` rows remain (64 in
+    the authors' implementation) *and* the counter array exceeds
+    ``memory_budget_bytes`` (50 MB in the paper).  The scaled defaults
+    here keep the same mechanism observable on synthetic data.
+    """
+
+    switch_rows: int = 64
+    memory_budget_bytes: int = 50 * 2**20
+
+
+def _default_order(matrix: BinaryMatrix) -> List[int]:
+    return [row_id for row_id, row in matrix.iter_rows() if row]
+
+
+def miss_counting_scan(
+    matrix: BinaryMatrix,
+    policy: PairPolicy,
+    order: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+    bitmap: Optional[BitmapConfig] = None,
+    rules: Optional[RuleSet] = None,
+) -> RuleSet:
+    """Run one DMC-base scan over an in-memory matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The 0/1 matrix.  ``policy.ones`` must equal its column counts.
+    policy:
+        The mining variant (implication / similarity / identity).
+    order:
+        Row scan order; defaults to original order with empty rows
+        skipped.  Pass :func:`repro.matrix.reorder.scan_order` for the
+        Section 4.1 sparsest-first optimization.
+    stats:
+        Optional :class:`ScanStats` to fill with per-row measurements.
+    bitmap:
+        Optional switch rule for the DMC-bitmap tail.
+    rules:
+        Optional existing :class:`RuleSet` to append into.
+    """
+    if len(policy.ones) != matrix.n_columns:
+        raise ValueError(
+            f"policy was built for {len(policy.ones)} columns but the "
+            f"matrix has {matrix.n_columns}"
+        )
+    if order is None:
+        order = _default_order(matrix)
+    rows = ((row_id, matrix.row(row_id)) for row_id in order)
+    return miss_counting_scan_rows(
+        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules
+    )
+
+
+def miss_counting_scan_rows(
+    rows: Iterator[Tuple[int, Tuple[int, ...]]],
+    n_rows: int,
+    policy: PairPolicy,
+    stats: Optional[ScanStats] = None,
+    bitmap: Optional[BitmapConfig] = None,
+    rules: Optional[RuleSet] = None,
+) -> RuleSet:
+    """Run one DMC-base scan over a row stream (Algorithm 3.1).
+
+    ``rows`` yields ``(row_id, column_ids)`` pairs exactly once, in
+    scan order; ``n_rows`` is the total the stream will yield (known
+    from the first pass).  This is the streaming core behind
+    :func:`miss_counting_scan` and :mod:`repro.matrix.stream` — rows
+    are consumed strictly sequentially, and on a bitmap switch the
+    remainder of the stream is drained into the tail (which is exactly
+    what Algorithm 4.1 does: "read the rest of the rows and create
+    bitmaps").
+    """
+    if stats is None:
+        stats = ScanStats()
+    if rules is None:
+        rules = RuleSet()
+    started = time.perf_counter()
+
+    ones = policy.ones
+    count = [0] * len(ones)
+    cand = CandidateArray()
+    rows = iter(rows)
+
+    for position in range(n_rows):
+        if bitmap is not None and n_rows - position <= bitmap.switch_rows:
+            if cand.memory_bytes() > bitmap.memory_budget_bytes:
+                stats.bitmap_switch_at = position
+                remaining = list(rows)
+                bitmap_tail(remaining, policy, count, cand, rules, stats)
+                stats.scan_seconds += time.perf_counter() - started
+                return rules
+
+        try:
+            _, row = next(rows)
+        except StopIteration:
+            break
+        row_set = set(row)
+        for column_j in row:
+            count_j = count[column_j]
+            may_add = count_j <= policy.add_cutoff(column_j)
+            if may_add:
+                cand_j = cand.ensure(column_j)
+            else:
+                cand_j = cand.get(column_j)
+                if cand_j is None:
+                    continue
+
+            # Dynamic pruning sees the current row as consumed: the
+            # owning column's count advances by one, and a hit also
+            # advances the candidate's count.  Passing pre-row counts
+            # with a post-row miss total would double-count this row
+            # and prune valid pairs.
+            to_delete = []
+            for candidate_k, misses in cand_j.items():
+                if candidate_k in row_set:
+                    if policy.dynamic_prune(
+                        column_j, candidate_k, count_j + 1, misses,
+                        count[candidate_k] + 1,
+                    ):
+                        to_delete.append(candidate_k)
+                    continue
+                misses += 1
+                if misses > policy.pair_budget(
+                    column_j, candidate_k
+                ) or policy.dynamic_prune(
+                    column_j, candidate_k, count_j + 1, misses,
+                    count[candidate_k],
+                ):
+                    to_delete.append(candidate_k)
+                else:
+                    cand_j[candidate_k] = misses
+            for candidate_k in to_delete:
+                cand.remove(column_j, candidate_k)
+            stats.candidates_deleted += len(to_delete)
+
+            if may_add:
+                for candidate_k in row:
+                    if candidate_k == column_j or candidate_k in cand_j:
+                        continue
+                    if not policy.eligible(column_j, candidate_k):
+                        continue
+                    if count_j > policy.pair_budget(column_j, candidate_k):
+                        continue
+                    if policy.dynamic_prune(
+                        column_j, candidate_k, count_j + 1, count_j,
+                        count[candidate_k] + 1,
+                    ):
+                        continue
+                    cand.add(column_j, candidate_k, count_j)
+                    stats.candidates_added += 1
+
+        for column_j in row:
+            count[column_j] += 1
+            if count[column_j] == ones[column_j]:
+                for candidate_k, misses in cand.items(column_j):
+                    rule = policy.make_rule(column_j, candidate_k, misses)
+                    if rule is not None:
+                        rules.add(rule)
+                        stats.rules_emitted += 1
+                cand.release(column_j)
+
+        stats.record_row(cand.total_entries, cand.memory_bytes())
+
+    stats.scan_seconds += time.perf_counter() - started
+    return rules
+
+
+def zero_miss_scan(
+    matrix: BinaryMatrix,
+    policy: PairPolicy,
+    order: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+    bitmap: Optional[BitmapConfig] = None,
+    rules: Optional[RuleSet] = None,
+) -> RuleSet:
+    """Section 4.3 fast path for policies whose budgets are all zero.
+
+    Candidate lists are plain id sets (no miss counters — half the
+    memory per entry) intersected against each row where the owning
+    column appears; after a column's first 1 no candidate can ever be
+    added.  Produces exactly the rules of :func:`miss_counting_scan`
+    with the same zero-budget policy.
+    """
+    if len(policy.ones) != matrix.n_columns:
+        raise ValueError(
+            f"policy was built for {len(policy.ones)} columns but the "
+            f"matrix has {matrix.n_columns}"
+        )
+    if order is None:
+        order = _default_order(matrix)
+    rows = ((row_id, matrix.row(row_id)) for row_id in order)
+    return zero_miss_scan_rows(
+        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules
+    )
+
+
+def zero_miss_scan_rows(
+    rows: Iterator[Tuple[int, Tuple[int, ...]]],
+    n_rows: int,
+    policy: PairPolicy,
+    stats: Optional[ScanStats] = None,
+    bitmap: Optional[BitmapConfig] = None,
+    rules: Optional[RuleSet] = None,
+) -> RuleSet:
+    """Streaming core of :func:`zero_miss_scan` (see there)."""
+    if stats is None:
+        stats = ScanStats()
+    if rules is None:
+        rules = RuleSet()
+    started = time.perf_counter()
+
+    ones = policy.ones
+    count = [0] * len(ones)
+    lists: Dict[int, Set[int]] = {}
+    entries = 0
+    rows = iter(rows)
+
+    for position in range(n_rows):
+        if bitmap is not None and n_rows - position <= bitmap.switch_rows:
+            memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
+            if memory > bitmap.memory_budget_bytes:
+                stats.bitmap_switch_at = position
+                cand = CandidateArray()
+                for column_j, candidates in lists.items():
+                    cand.ensure(column_j)
+                    for candidate_k in candidates:
+                        cand.add(column_j, candidate_k, 0)
+                remaining = list(rows)
+                bitmap_tail(remaining, policy, count, cand, rules, stats)
+                stats.scan_seconds += time.perf_counter() - started
+                return rules
+
+        try:
+            _, row = next(rows)
+        except StopIteration:
+            break
+        row_set = set(row)
+        for column_j in row:
+            if count[column_j] == 0:
+                created = {
+                    candidate_k
+                    for candidate_k in row
+                    if candidate_k != column_j
+                    and policy.eligible(column_j, candidate_k)
+                }
+                lists[column_j] = created
+                entries += len(created)
+                stats.candidates_added += len(created)
+            else:
+                candidates = lists.get(column_j)
+                if candidates:
+                    survivors = candidates & row_set
+                    dropped = len(candidates) - len(survivors)
+                    if dropped:
+                        lists[column_j] = survivors
+                        entries -= dropped
+                        stats.candidates_deleted += dropped
+
+        for column_j in row:
+            count[column_j] += 1
+            if count[column_j] == ones[column_j]:
+                survivors = lists.pop(column_j, None)
+                if survivors is not None:
+                    entries -= len(survivors)
+                    for candidate_k in survivors:
+                        rule = policy.make_rule(column_j, candidate_k, 0)
+                        if rule is not None:
+                            rules.add(rule)
+                            stats.rules_emitted += 1
+
+        memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
+        stats.record_row(entries, memory)
+
+    stats.scan_seconds += time.perf_counter() - started
+    return rules

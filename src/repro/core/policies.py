@@ -1,0 +1,241 @@
+"""Pair policies: what "candidate", "budget" and "valid" mean per rule kind.
+
+The DMC-base scan (Algorithm 3.1) and the DMC-bitmap tail (Algorithm
+4.1) are the same machine for implication rules, 100%-confidence rules,
+similarity rules, and identical-column detection — what differs is which
+pairs are eligible, how many misses each pair may accumulate, when new
+candidates may still be added, and the final validity test.  A
+:class:`PairPolicy` bundles those four decisions, so each algorithm
+variant in the paper is one policy class here.
+
+All budgets are on *sparse-side* misses: rows where the list-owning
+column ``c_j`` is 1 but the candidate ``c_k`` is 0.  See
+:mod:`repro.core.thresholds` for the derivations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.core.rules import (
+    ImplicationRule,
+    SimilarityRule,
+    canonical_before,
+)
+from repro.core.thresholds import (
+    Threshold,
+    as_fraction,
+    max_misses,
+    similarity_holds,
+)
+
+
+class PairPolicy:
+    """Base class; subclasses configure one mining variant.
+
+    Parameters
+    ----------
+    ones:
+        ``ones(c_i)`` for every column (from the pre-scan).
+    """
+
+    def __init__(self, ones: Sequence[int]) -> None:
+        self.ones = list(int(o) for o in ones)
+
+    def eligible(self, column_j: int, candidate_k: int) -> bool:
+        """May ``candidate_k`` appear on ``column_j``'s list?
+
+        The base rule is the paper's canonical order: the list owner must
+        canonically precede the candidate.
+        """
+        return canonical_before(
+            self.ones[column_j],
+            column_j,
+            self.ones[candidate_k],
+            candidate_k,
+        )
+
+    def pair_budget(self, column_j: int, candidate_k: int) -> int:
+        """Maximum sparse-side misses the pair may accumulate.
+
+        Negative means the pair can never be valid (static pruning).
+        """
+        raise NotImplementedError
+
+    def add_cutoff(self, column_j: int) -> int:
+        """Largest ``cnt(c_j)`` at which new candidates may still be added.
+
+        A column first co-occurring with ``c_j`` after this point has
+        already missed too often for *every* possible budget.
+        """
+        raise NotImplementedError
+
+    def dynamic_prune(
+        self,
+        column_j: int,
+        candidate_k: int,
+        count_j: int,
+        misses: int,
+        count_k: int,
+    ) -> bool:
+        """Optional in-scan pruning beyond the budget (default: none)."""
+        return False
+
+    def make_rule(self, column_j: int, candidate_k: int, misses: int):
+        """Return the final rule for a surviving pair, or None if invalid."""
+        raise NotImplementedError
+
+
+class ImplicationPolicy(PairPolicy):
+    """Confidence-threshold mining of ``c_j => c_k`` (Algorithm 3.1).
+
+    The budget is per-antecedent: ``maxmiss(c_j) = floor((1-minconf)*ones)``,
+    which is also the add cutoff (Example 1.3).
+    """
+
+    def __init__(self, ones: Sequence[int], minconf: Threshold) -> None:
+        super().__init__(ones)
+        self.minconf: Fraction = as_fraction(minconf)
+        self.maxmiss = [max_misses(o, self.minconf) for o in self.ones]
+
+    def pair_budget(self, column_j: int, candidate_k: int) -> int:
+        return self.maxmiss[column_j]
+
+    def add_cutoff(self, column_j: int) -> int:
+        return self.maxmiss[column_j]
+
+    def make_rule(
+        self, column_j: int, candidate_k: int, misses: int
+    ) -> Optional[ImplicationRule]:
+        if misses > self.maxmiss[column_j]:
+            return None
+        ones_j = self.ones[column_j]
+        return ImplicationRule(
+            antecedent=column_j,
+            consequent=candidate_k,
+            hits=ones_j - misses,
+            ones=ones_j,
+        )
+
+
+class HundredPercentPolicy(ImplicationPolicy):
+    """The Section 4.3 special case: zero misses allowed anywhere."""
+
+    def __init__(self, ones: Sequence[int]) -> None:
+        super().__init__(ones, Fraction(1))
+
+
+class SimilarityPolicy(PairPolicy):
+    """Similarity-threshold mining of unordered pairs (Algorithm 5.1).
+
+    Budgets are per-pair (``pair_max_misses``), which subsumes the
+    Section 5.1 column-density pruning (negative budget), and the
+    Section 5.2 maximum-hits pruning runs as the dynamic check.  Both
+    prunings can be disabled for the ablation benchmarks; disabling them
+    never changes the mined rules, only the work done.
+    """
+
+    def __init__(
+        self,
+        ones: Sequence[int],
+        minsim: Threshold,
+        use_density_pruning: bool = True,
+        use_max_hits_pruning: bool = True,
+    ) -> None:
+        super().__init__(ones)
+        self.minsim: Fraction = as_fraction(minsim)
+        self.use_density_pruning = use_density_pruning
+        self.use_max_hits_pruning = use_max_hits_pruning
+        self._p = self.minsim.numerator
+        self._q = self.minsim.denominator
+
+    def eligible(self, column_j: int, candidate_k: int) -> bool:
+        if not super().eligible(column_j, candidate_k):
+            return False
+        if self.use_density_pruning:
+            # ones_j <= ones_k here; prune when ones_j/ones_k < minsim.
+            return (
+                self.ones[column_j] * self._q
+                >= self._p * self.ones[candidate_k]
+            )
+        return True
+
+    def pair_budget(self, column_j: int, candidate_k: int) -> int:
+        if not self.use_density_pruning:
+            # Ablation mode: manage the candidate as if the denser
+            # column's cardinality were unknown (best case: equal to the
+            # sparse side).  Still sound — only weaker — and it models
+            # what Section 5.1's pruning saves.
+            return self.add_cutoff(column_j)
+        # floor((q*ones_j - p*ones_k) / (p+q)); negative => unreachable.
+        return (
+            self._q * self.ones[column_j] - self._p * self.ones[candidate_k]
+        ) // (self._p + self._q)
+
+    def add_cutoff(self, column_j: int) -> int:
+        # Best case is a candidate with ones_k == ones_j.
+        ones_j = self.ones[column_j]
+        return (ones_j * (self._q - self._p)) // (self._p + self._q)
+
+    def dynamic_prune(
+        self,
+        column_j: int,
+        candidate_k: int,
+        count_j: int,
+        misses: int,
+        count_k: int,
+    ) -> bool:
+        if not self.use_max_hits_pruning:
+            return False
+        remaining_j = self.ones[column_j] - count_j
+        remaining_k = self.ones[candidate_k] - count_k
+        best_final_misses = misses + max(0, remaining_j - remaining_k)
+        return best_final_misses > self.pair_budget(column_j, candidate_k)
+
+    def make_rule(
+        self, column_j: int, candidate_k: int, misses: int
+    ) -> Optional[SimilarityRule]:
+        intersection = self.ones[column_j] - misses
+        union = self.ones[candidate_k] + misses
+        if not similarity_holds(intersection, union, self.minsim):
+            return None
+        return SimilarityRule(
+            first=column_j,
+            second=candidate_k,
+            intersection=intersection,
+            union=union,
+        )
+
+
+class IdentityPolicy(PairPolicy):
+    """100%-similarity (identical columns) — DMC-sim step 2.
+
+    Only pairs with equal cardinality are eligible and no miss at all is
+    allowed.
+    """
+
+    def eligible(self, column_j: int, candidate_k: int) -> bool:
+        return (
+            self.ones[column_j] == self.ones[candidate_k]
+            and column_j < candidate_k
+        )
+
+    def pair_budget(self, column_j: int, candidate_k: int) -> int:
+        return 0
+
+    def add_cutoff(self, column_j: int) -> int:
+        return 0
+
+    def make_rule(
+        self, column_j: int, candidate_k: int, misses: int
+    ) -> Optional[SimilarityRule]:
+        if misses != 0:
+            return None
+        ones_j = self.ones[column_j]
+        return SimilarityRule(
+            first=column_j,
+            second=candidate_k,
+            intersection=ones_j,
+            union=ones_j,
+        )

@@ -1,0 +1,122 @@
+"""Instrumentation for the DMC scans and pipelines.
+
+The paper's evaluation reports three kinds of measurements, all captured
+here:
+
+- the per-row candidate-count history and peak counter-array memory
+  (Figure 3, Figure 6(g)/(h));
+- per-phase wall-clock time — pre-scan, 100%-rule pass, <100% pass, and
+  the DMC-bitmap tail inside each pass (Figure 6(c)-(f));
+- event counters (candidates added/deleted, rules emitted, the row at
+  which the bitmap switch fired).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ScanStats:
+    """Measurements from one miss-counting scan."""
+
+    #: Total candidate entries after each processed row.
+    candidate_history: List[int] = field(default_factory=list)
+    #: Counter-array bytes after each processed row.
+    memory_history: List[int] = field(default_factory=list)
+    peak_entries: int = 0
+    peak_bytes: int = 0
+    rows_scanned: int = 0
+    candidates_added: int = 0
+    candidates_deleted: int = 0
+    rules_emitted: int = 0
+    #: Index into the scan order at which DMC-bitmap took over (or None).
+    bitmap_switch_at: Optional[int] = None
+    bitmap_bytes: int = 0
+    bitmap_phase1_columns: int = 0
+    bitmap_phase2_columns: int = 0
+    bitmap_seconds: float = 0.0
+    scan_seconds: float = 0.0
+
+    def record_row(self, entries: int, memory_bytes: int) -> None:
+        """Record state after one row of the second scan."""
+        self.rows_scanned += 1
+        self.candidate_history.append(entries)
+        self.memory_history.append(memory_bytes)
+        if entries > self.peak_entries:
+            self.peak_entries = entries
+        if memory_bytes > self.peak_bytes:
+            self.peak_bytes = memory_bytes
+
+    def merge_peaks(self, other: "ScanStats") -> None:
+        """Fold another scan's peaks and counters into this one."""
+        self.peak_entries = max(self.peak_entries, other.peak_entries)
+        self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
+        self.rows_scanned += other.rows_scanned
+        self.candidates_added += other.candidates_added
+        self.candidates_deleted += other.candidates_deleted
+        self.rules_emitted += other.rules_emitted
+        self.bitmap_bytes = max(self.bitmap_bytes, other.bitmap_bytes)
+        self.bitmap_seconds += other.bitmap_seconds
+        self.scan_seconds += other.scan_seconds
+
+
+@dataclass
+class PhaseTimer:
+    """Named wall-clock phases for the pipeline breakdown figures."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a ``with`` block under ``name`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.seconds.values())
+
+
+@dataclass
+class PipelineStats:
+    """Aggregated measurements from a full DMC-imp / DMC-sim run."""
+
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    hundred_percent_scan: ScanStats = field(default_factory=ScanStats)
+    partial_scan: ScanStats = field(default_factory=ScanStats)
+    columns_total: int = 0
+    columns_removed: int = 0
+    rules_hundred_percent: int = 0
+    rules_partial: int = 0
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak counter-array bytes across both passes."""
+        return max(
+            self.hundred_percent_scan.peak_bytes, self.partial_scan.peak_bytes
+        )
+
+    @property
+    def peak_entries(self) -> int:
+        """Peak candidate entries across both passes."""
+        return max(
+            self.hundred_percent_scan.peak_entries,
+            self.partial_scan.peak_entries,
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock seconds across all phases."""
+        return self.timer.total()
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase name -> seconds, in insertion order."""
+        return dict(self.timer.seconds)

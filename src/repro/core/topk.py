@@ -1,0 +1,80 @@
+"""Top-k rule mining: find the threshold, not just the rules.
+
+Users often want "the k strongest rules" rather than a threshold they
+must guess.  Because DMC's statistics are exact fractions, the top-k
+problem reduces to one mining pass at a floor threshold plus an exact
+k-th order statistic:
+
+1. mine at ``floor_threshold`` (a coarse lower bound);
+2. the k-th highest confidence among the results is the exact cut;
+3. return every rule at or above the cut (ties included), plus the cut
+   itself so callers can resume/refine.
+
+If fewer than ``k`` rules exist above the floor, the floor is lowered
+geometrically and mining repeats — at most ``max_passes`` times.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.rules import RuleSet
+from repro.matrix.binary_matrix import BinaryMatrix
+
+
+def _top_k_by(
+    mined: RuleSet, k: int, key
+) -> Tuple[RuleSet, Optional[Fraction]]:
+    scores = sorted((key(rule) for rule in mined), reverse=True)
+    if not scores:
+        return RuleSet(), None
+    cut = scores[min(k, len(scores)) - 1]
+    kept = RuleSet(rule for rule in mined if key(rule) >= cut)
+    return kept, cut
+
+
+def top_k_implication_rules(
+    matrix: BinaryMatrix,
+    k: int,
+    floor_threshold=Fraction(1, 2),
+    options: Optional[PruningOptions] = None,
+    max_passes: int = 4,
+) -> Tuple[RuleSet, Optional[Fraction]]:
+    """Return the ``k`` highest-confidence rules and the exact cut.
+
+    Ties at the cut are all included, so the result may hold more than
+    ``k`` rules.  The returned cut is the confidence of the k-th rule
+    (None when the matrix yields no rules at all above the final
+    floor).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    floor = Fraction(floor_threshold)
+    for _ in range(max_passes):
+        mined = find_implication_rules(matrix, floor, options=options)
+        if len(mined) >= k or floor <= Fraction(1, 100):
+            return _top_k_by(mined, k, lambda rule: rule.confidence)
+        floor = max(Fraction(1, 100), floor / 2)
+    return _top_k_by(mined, k, lambda rule: rule.confidence)
+
+
+def top_k_similarity_rules(
+    matrix: BinaryMatrix,
+    k: int,
+    floor_threshold=Fraction(1, 2),
+    options: Optional[PruningOptions] = None,
+    max_passes: int = 4,
+) -> Tuple[RuleSet, Optional[Fraction]]:
+    """Return the ``k`` most-similar pairs and the exact cut."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    floor = Fraction(floor_threshold)
+    for _ in range(max_passes):
+        mined = find_similarity_rules(matrix, floor, options=options)
+        if len(mined) >= k or floor <= Fraction(1, 100):
+            return _top_k_by(mined, k, lambda rule: rule.similarity)
+        floor = max(Fraction(1, 100), floor / 2)
+    return _top_k_by(mined, k, lambda rule: rule.similarity)

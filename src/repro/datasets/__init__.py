@@ -1,0 +1,49 @@
+"""Synthetic simulators of the paper's four proprietary data sets.
+
+The originals (Stanford web-server logs, the Stanford page-link graph,
+Reuters news articles, Webster's 1913 dictionary) are not available, so
+each generator reproduces the structural properties the evaluation
+depends on — wide row-density spread, heavy-tailed column frequencies,
+planted high-confidence/high-similarity structure — at sizes that run
+in seconds.  See DESIGN.md section 3 for the substitution rationale.
+
+:mod:`~repro.datasets.registry` exposes the seven named configurations
+of Table 1 (``Wlog``, ``WlogP``, ``plinkF``, ``plinkT``, ``News``,
+``NewsP``, ``dicD``).
+"""
+
+from repro.datasets.dictionary import generate_dictionary
+from repro.datasets.news import CHESS_TOPIC_WORDS, generate_news
+from repro.datasets.quest import generate_quest, quest_t10i4
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    planted_rule_matrix,
+    planted_similarity_matrix,
+    random_matrix,
+    zipf_weights,
+)
+from repro.datasets.weblink import generate_weblink
+from repro.datasets.weblog import generate_weblog
+
+__all__ = [
+    "CHESS_TOPIC_WORDS",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dictionary",
+    "generate_news",
+    "generate_quest",
+    "generate_weblink",
+    "generate_weblog",
+    "load_dataset",
+    "planted_rule_matrix",
+    "planted_similarity_matrix",
+    "quest_t10i4",
+    "random_matrix",
+    "zipf_weights",
+]

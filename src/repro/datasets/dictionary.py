@@ -1,0 +1,101 @@
+"""Synthetic dictionary (the paper's dicD data set).
+
+Columns are head words (the words being defined), rows are definition
+words; entry ``(r, c)`` is 1 when word ``r`` occurs in the definition
+of head word ``c``.  Mining similar *columns* finds head words defined
+with nearly the same vocabulary — the paper's example being
+*brother-in-law* / *sister-in-law*.
+
+The generator plants synonym clusters whose members share most of
+their definition vocabulary, over a Zipf base of definition words, so
+DMC-sim recovers the clusters and the Figure 4 column-density shape
+(most head words have short definitions) holds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import zipf_weights
+from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
+
+#: Planted synonym families, in the spirit of the paper's example.
+SYNONYM_FAMILIES: Tuple[Tuple[str, ...], ...] = (
+    ("brother-in-law", "sister-in-law"),
+    ("doctor", "physician"),
+    ("quick", "rapid", "swift"),
+    ("big", "large"),
+    ("begin", "commence"),
+    ("buy", "purchase"),
+)
+
+
+def generate_dictionary(
+    n_head_words: int = 900,
+    n_definition_words: int = 500,
+    typical_definition: int = 7,
+    families: Sequence[Sequence[str]] = SYNONYM_FAMILIES,
+    overlap: float = 0.9,
+    zipf_exponent: float = 1.0,
+    seed: int = 0,
+) -> BinaryMatrix:
+    """Generate a dicD-like definition matrix.
+
+    Each synonym family shares an ``overlap`` fraction of a common
+    definition-word set, so any two members have Jaccard similarity of
+    roughly ``overlap / (2 - overlap)`` or better.
+    """
+    rng = np.random.default_rng(seed)
+    weights = zipf_weights(n_definition_words, zipf_exponent)
+
+    head_labels = [f"head{h:05d}" for h in range(n_head_words)]
+    family_members = []
+    for family in families:
+        for label in family:
+            family_members.append(label)
+    # Planted family members replace the tail of the generic head words.
+    if len(family_members) > n_head_words:
+        raise ValueError("too many family members for n_head_words")
+    head_labels[-len(family_members) :] = family_members
+
+    definitions: List[set] = []
+    for head in range(n_head_words):
+        size = max(2, int(rng.geometric(1.0 / typical_definition)))
+        words = rng.choice(
+            n_definition_words,
+            size=min(size, n_definition_words),
+            replace=False,
+            p=weights,
+        )
+        definitions.append(set(int(w) for w in words))
+
+    # Overwrite the planted members with shared definitions.
+    offset = n_head_words - len(family_members)
+    cursor = offset
+    for family in families:
+        core_size = max(4, typical_definition)
+        core = set(
+            int(w)
+            for w in rng.choice(
+                n_definition_words, size=core_size, replace=False
+            )
+        )
+        n_private = max(0, int(round(core_size * (1 - overlap) / overlap)))
+        for _ in family:
+            private = set(
+                int(w)
+                for w in rng.choice(
+                    n_definition_words, size=n_private, replace=False
+                )
+            )
+            definitions[cursor] = core | private
+            cursor += 1
+
+    vocabulary = Vocabulary(head_labels)
+    matrix = BinaryMatrix.from_column_sets(
+        [sorted(d) for d in definitions], n_rows=n_definition_words
+    )
+    matrix.vocabulary = vocabulary
+    return matrix

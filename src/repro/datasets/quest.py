@@ -1,0 +1,116 @@
+"""IBM Quest-style synthetic transaction generator (Agrawal & Srikant).
+
+The classic workload behind "T10.I4.D100K"-style data sets used by the
+a-priori line of work the paper builds on: maximal potentially-frequent
+itemsets are drawn first, then each transaction is assembled from a few
+of those patterns plus noise.  Useful both as a familiar benchmark for
+the baselines and as a stress test whose planted patterns DMC must
+recover at the right confidence.
+
+Parameters follow the original paper's naming:
+
+- ``n_transactions`` (D), ``avg_transaction_size`` (T),
+- ``n_items`` (N), ``n_patterns`` (L), ``avg_pattern_size`` (I),
+- ``correlation`` — probability that consecutive patterns share items,
+- ``corruption`` — mean fraction of a pattern dropped per use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import zipf_weights
+from repro.matrix.binary_matrix import BinaryMatrix
+
+
+def _draw_patterns(
+    rng: np.random.Generator,
+    n_items: int,
+    n_patterns: int,
+    avg_pattern_size: float,
+    correlation: float,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Maximal potentially-frequent itemsets plus their weights."""
+    weights = rng.exponential(1.0, size=n_patterns)
+    weights /= weights.sum()
+    popularity = zipf_weights(n_items, 0.7)
+    patterns: List[np.ndarray] = []
+    for index in range(n_patterns):
+        size = max(1, int(rng.poisson(avg_pattern_size)))
+        size = min(size, n_items)
+        items = set()
+        if patterns and rng.random() < correlation:
+            # Share a prefix of the previous pattern (Quest's
+            # correlated-pattern chain).
+            previous = patterns[-1]
+            n_shared = min(
+                len(previous), max(1, int(rng.integers(1, size + 1)))
+            )
+            items.update(
+                int(i)
+                for i in rng.choice(previous, size=n_shared, replace=False)
+            )
+        while len(items) < size:
+            items.add(
+                int(rng.choice(n_items, p=popularity))
+            )
+        patterns.append(np.array(sorted(items), dtype=np.int64))
+    return patterns, weights
+
+
+def generate_quest(
+    n_transactions: int = 1000,
+    avg_transaction_size: float = 10.0,
+    n_items: int = 500,
+    n_patterns: int = 50,
+    avg_pattern_size: float = 4.0,
+    correlation: float = 0.25,
+    corruption: float = 0.3,
+    seed: int = 0,
+) -> BinaryMatrix:
+    """Generate a Quest-style transaction matrix.
+
+    Each transaction draws patterns by weight until its target size is
+    met; each drawn pattern loses a ``corruption``-distributed fraction
+    of its items (the original generator's corruption level).
+    """
+    if n_transactions < 1 or n_items < 1 or n_patterns < 1:
+        raise ValueError("sizes must be positive")
+    rng = np.random.default_rng(seed)
+    patterns, weights = _draw_patterns(
+        rng, n_items, n_patterns, avg_pattern_size, correlation
+    )
+    rows: List[List[int]] = []
+    for _ in range(n_transactions):
+        target = max(1, int(rng.poisson(avg_transaction_size)))
+        basket: set = set()
+        guard = 0
+        while len(basket) < target and guard < 20:
+            guard += 1
+            pattern = patterns[
+                int(rng.choice(len(patterns), p=weights))
+            ]
+            keep_fraction = max(0.0, 1.0 - rng.exponential(corruption))
+            n_keep = max(1, int(round(keep_fraction * len(pattern))))
+            kept = rng.choice(
+                pattern, size=min(n_keep, len(pattern)), replace=False
+            )
+            basket.update(int(i) for i in kept)
+        rows.append(sorted(basket))
+    return BinaryMatrix(rows, n_columns=n_items)
+
+
+def quest_t10i4(
+    n_transactions: int = 2000, n_items: int = 400, seed: int = 0
+) -> BinaryMatrix:
+    """The "T10.I4" flavour at a laptop-friendly scale."""
+    return generate_quest(
+        n_transactions=n_transactions,
+        avg_transaction_size=10.0,
+        n_items=n_items,
+        n_patterns=max(10, n_items // 10),
+        avg_pattern_size=4.0,
+        seed=seed,
+    )

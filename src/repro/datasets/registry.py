@@ -1,0 +1,149 @@
+"""Named dataset configurations mirroring the paper's Table 1.
+
+Each entry reports the paper's original size and builds the scaled
+synthetic stand-in.  ``scale`` multiplies the default row/column
+counts; benchmarks default to scale 1 (seconds per run), tests use
+smaller scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.dictionary import generate_dictionary
+from repro.datasets.news import generate_news, generate_news_pruned
+from repro.datasets.weblink import generate_weblink
+from repro.datasets.weblog import generate_weblog, generate_weblog_pruned
+from repro.matrix.binary_matrix import BinaryMatrix
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 1 data set: paper size plus the scaled generator."""
+
+    name: str
+    description: str
+    paper_rows: int
+    paper_columns: int
+    builder: Callable[[float, int], BinaryMatrix]
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> BinaryMatrix:
+        """Generate the scaled matrix (deterministic per seed)."""
+        return self.builder(scale, seed)
+
+
+def _wlog(scale: float, seed: int) -> BinaryMatrix:
+    return generate_weblog(
+        n_clients=int(2000 * scale), n_urls=int(700 * scale), seed=seed
+    )
+
+
+def _wlogp(scale: float, seed: int) -> BinaryMatrix:
+    return generate_weblog_pruned(
+        n_clients=int(2000 * scale), n_urls=int(700 * scale), seed=seed
+    )
+
+
+def _plinkf(scale: float, seed: int) -> BinaryMatrix:
+    return generate_weblink(
+        n_pages=int(1200 * scale), orientation="F", seed=seed
+    )
+
+
+def _plinkt(scale: float, seed: int) -> BinaryMatrix:
+    return generate_weblink(
+        n_pages=int(1200 * scale), orientation="T", seed=seed
+    )
+
+
+def _news(scale: float, seed: int) -> BinaryMatrix:
+    return generate_news(
+        n_documents=int(4000 * scale),
+        n_background_words=int(2500 * scale),
+        seed=seed,
+    )
+
+
+def _newsp(scale: float, seed: int) -> BinaryMatrix:
+    return generate_news_pruned(
+        n_documents=int(1200 * scale),
+        n_background_words=int(2500 * scale),
+        seed=seed,
+    )
+
+
+def _dicd(scale: float, seed: int) -> BinaryMatrix:
+    return generate_dictionary(
+        n_head_words=int(900 * scale),
+        n_definition_words=int(500 * scale),
+        seed=seed,
+    )
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            "Wlog",
+            "Web access log: clients x URLs",
+            218518,
+            74957,
+            _wlog,
+        ),
+        DatasetSpec(
+            "WlogP",
+            "Web access log, columns with <=10 ones pruned",
+            203185,
+            13087,
+            _wlogp,
+        ),
+        DatasetSpec(
+            "plinkF",
+            "Page-link graph, rows = sources, columns = destinations",
+            173338,
+            697824,
+            _plinkf,
+        ),
+        DatasetSpec(
+            "plinkT",
+            "Page-link graph transposed: columns = sources",
+            695280,
+            688747,
+            _plinkt,
+        ),
+        DatasetSpec(
+            "News",
+            "News documents x words (stop words removed)",
+            84672,
+            170372,
+            _news,
+        ),
+        DatasetSpec(
+            "NewsP",
+            "News subset, support-pruned for the a-priori comparison",
+            16392,
+            9518,
+            _newsp,
+        ),
+        DatasetSpec(
+            "dicD",
+            "Dictionary: definition words x head words",
+            45418,
+            96540,
+            _dicd,
+        ),
+    )
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registry names in Table 1 order."""
+    return tuple(DATASETS)
+
+
+def load_dataset(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> BinaryMatrix:
+    """Build the named data set at ``scale`` (KeyError if unknown)."""
+    return DATASETS[name].build(scale=scale, seed=seed)

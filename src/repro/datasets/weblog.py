@@ -1,0 +1,98 @@
+"""Synthetic Web-access log (the paper's Wlog / WlogP data sets).
+
+Rows are client IPs, columns are URLs; an entry is 1 when the client
+hit the URL at least once.  The evaluation relies on two structural
+facts reproduced here:
+
+- *wide row-density spread*: most clients touch a handful of pages,
+  while a few crawler clients touch almost every page — the rows that
+  make sparsest-first re-ordering (Section 4.1) and the DMC-bitmap
+  switch (Section 4.2) matter;
+- *many low-frequency columns* (Figure 4): page popularity is Zipf, so
+  most URLs have very few ones and the 100%-rule pass prunes them.
+
+Planted "bundles" — groups of URLs always fetched together, like a page
+and its frames — provide genuine high-confidence rules to find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import zipf_weights
+from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
+
+
+def generate_weblog(
+    n_clients: int = 2000,
+    n_urls: int = 700,
+    typical_pages: int = 4,
+    crawler_fraction: float = 0.004,
+    n_bundles: int = 12,
+    bundle_size: int = 3,
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
+) -> BinaryMatrix:
+    """Generate a Wlog-like access matrix.
+
+    ``n_bundles`` groups of ``bundle_size`` URLs are co-fetched: when a
+    client visits a bundle's lead URL it almost always fetches the rest,
+    yielding high-confidence implication rules between bundle members.
+    """
+    rng = np.random.default_rng(seed)
+    weights = zipf_weights(n_urls, zipf_exponent)
+    bundle_members = _assign_bundles(rng, n_urls, n_bundles, bundle_size)
+
+    rows = []
+    n_crawlers = max(1, int(round(crawler_fraction * n_clients)))
+    crawler_ids = set(
+        rng.choice(n_clients, size=n_crawlers, replace=False).tolist()
+    )
+    for client in range(n_clients):
+        if client in crawler_ids:
+            # A crawler touches a large slice of the site (not all of
+            # it, so genuinely rare URLs keep low column counts).
+            visited = rng.random(n_urls) < rng.uniform(0.4, 0.8)
+            rows.append(np.flatnonzero(visited).tolist())
+            continue
+        n_pages = min(n_urls, int(rng.geometric(1.0 / typical_pages)))
+        visited = set(
+            rng.choice(n_urls, size=n_pages, replace=False, p=weights)
+            .tolist()
+        )
+        # Visiting a bundle lead pulls in the rest of the bundle.
+        for lead, members in bundle_members.items():
+            if lead in visited and rng.random() < 0.95:
+                visited.update(members)
+        rows.append(sorted(visited))
+
+    vocabulary = Vocabulary(f"/page/{u:05d}.html" for u in range(n_urls))
+    return BinaryMatrix(rows, n_columns=n_urls, vocabulary=vocabulary)
+
+
+def _assign_bundles(rng, n_urls, n_bundles, bundle_size):
+    """Pick disjoint bundles among mid-popularity URLs."""
+    if n_bundles * bundle_size > n_urls:
+        raise ValueError("too many bundles for the URL space")
+    # Mid-popularity leads: popular enough to be visited, rare enough
+    # that the rules are non-trivial.
+    pool_start = n_urls // 20
+    pool = np.arange(pool_start, n_urls)
+    chosen = rng.choice(
+        pool, size=n_bundles * bundle_size, replace=False
+    )
+    bundles = {}
+    for b in range(n_bundles):
+        members = chosen[b * bundle_size : (b + 1) * bundle_size]
+        bundles[int(members[0])] = [int(u) for u in members[1:]]
+    return bundles
+
+
+def generate_weblog_pruned(
+    min_ones: int = 11,
+    **kwargs,
+) -> BinaryMatrix:
+    """The WlogP variant: columns with 10-or-fewer 1's removed."""
+    return generate_weblog(**kwargs).prune_columns_by_support(
+        min_ones=min_ones
+    )

@@ -1,0 +1,52 @@
+"""The benchmark harness: one function per paper table/figure.
+
+Each experiment function generates its workload, runs the algorithms,
+and returns an :class:`~repro.experiments.harness.ExperimentResult`
+whose rows mirror what the paper's table or figure plots.  The
+``benchmarks/`` tree wraps these in pytest-benchmark, and
+``python -m repro <experiment>`` prints them directly.
+"""
+
+from repro.experiments.figures import (
+    ablation_prunings,
+    ablation_reordering,
+    conclusion_speedups,
+    extension_partitioned,
+    extension_streaming,
+    fig3_memory_curve,
+    fig4_column_density,
+    fig6_bitmap_jump,
+    fig6_breakdown,
+    fig6_comparison,
+    fig6_peak_memory,
+    fig6_time_sweep,
+    fig7_sample_rules,
+    table1_dataset_sizes,
+)
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    render_table,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ablation_prunings",
+    "ablation_reordering",
+    "conclusion_speedups",
+    "extension_partitioned",
+    "extension_streaming",
+    "fig3_memory_curve",
+    "fig4_column_density",
+    "fig6_bitmap_jump",
+    "fig6_breakdown",
+    "fig6_comparison",
+    "fig6_peak_memory",
+    "fig6_time_sweep",
+    "fig7_sample_rules",
+    "render_table",
+    "run_experiment",
+    "table1_dataset_sizes",
+]

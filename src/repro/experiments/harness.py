@@ -1,0 +1,92 @@
+"""Experiment result container, text rendering, and the run registry."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure, as printable rows.
+
+    ``rows`` hold the same series the paper's artifact plots; ``notes``
+    carry the qualitative claims to check against (who wins, where the
+    jump is, ...).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match ``headers`` in length)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        """Extract one column by header name."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned plain-text table."""
+    headers = [str(h) for h in result.headers]
+    body = [[_format_cell(v) for v in row] for row in result.rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[float, object]:
+    """Run ``fn`` and return ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+#: Experiment id -> zero-config callable, filled by figures.py.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding an experiment function to the registry."""
+
+    def decorate(fn):
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return decorate
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (KeyError if unknown)."""
+    return EXPERIMENTS[experiment_id](**kwargs)

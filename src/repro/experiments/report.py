@@ -1,0 +1,121 @@
+"""Markdown report generation: all experiments, one document.
+
+``python -m repro report --out results.md`` regenerates every table
+and figure and writes a self-contained markdown report — the mechanism
+behind EXPERIMENTS.md's measured sections.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Iterable, Optional, TextIO
+
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    render_table,
+)
+
+#: Paper-reported reference points shown next to each experiment.
+PAPER_NOTES = {
+    "table1": (
+        "Paper sizes range from 16,392x9,518 (NewsP) to "
+        "695,280x688,747 (plinkT); synthetic stand-ins keep the shape "
+        "at laptop scale."
+    ),
+    "fig3": (
+        "Paper: memory explodes on the last, densest rows; "
+        "re-ordering cut the web-link counter array 0.33 GB -> 0.033 GB."
+    ),
+    "fig4": (
+        "Paper: all four data sets are dominated by columns with few "
+        "1's, which powers the Section 4.3 pruning."
+    ),
+    "fig6ab": (
+        "Paper: every data set finishes in reasonable time at >=85% "
+        "and time decreases roughly linearly with the threshold."
+    ),
+    "fig6cd": (
+        "Paper: pre-scan and the 100%-rule pass are small and flat; "
+        "the <100% pass dominates and grows as the threshold falls."
+    ),
+    "fig6ef": (
+        "Paper: the DMC-bitmap phase jumps 22 s -> 398 s (imp) and "
+        "27 s -> 399 s (sim) between the 80% and 75% thresholds on "
+        "plinkT, caused by frequency-4 columns."
+    ),
+    "fig6gh": (
+        "Paper: DMC-sim needs much less counter memory than DMC-imp; "
+        "memory does not explode as the threshold falls thanks to "
+        "DMC-bitmap."
+    ),
+    "fig6ij": (
+        "Paper: DMC best at high thresholds; a-priori best at <=75% "
+        "confidence and Min-Hash best at <=70% similarity on NewsP."
+    ),
+    "fig7": (
+        "Paper: 85% confidence with support-5 pruning around 'polgar' "
+        "yields the chess rule families (judit, kasparov, champion...)."
+    ),
+    "concl": (
+        "Paper at 85% on NewsP: DMC-imp 1.7x/1.9x faster than "
+        "a-priori/K-Min; DMC-sim 5.9x/1.7x faster than "
+        "a-priori/Min-Hash."
+    ),
+    "abl-reorder": (
+        "Paper: sparsest-first scanning reduced the counter array by "
+        "an order of magnitude (Section 4.1)."
+    ),
+    "ext-partition": (
+        "Section 7 future work: 'a parallel algorithm based on a "
+        "divide-and-conquer technique, such as FDM for a-priori, is "
+        "necessary' — implemented and measured here."
+    ),
+    "ext-stream": (
+        "Section 1: DMC uses 'only two passes through the data and "
+        "realistic amounts of main memory' — the streaming pipeline "
+        "makes the two-pass discipline literal (on-disk bucket spill)."
+    ),
+    "abl-prune": (
+        "Paper: the Section 5 prunings are what let DMC-sim run in a "
+        "fraction of DMC-imp's memory; they never change the rules."
+    ),
+}
+
+
+def _write_experiment(
+    handle: TextIO, experiment_id: str, result: ExperimentResult
+) -> None:
+    handle.write(f"## {experiment_id}: {result.title}\n\n")
+    note = PAPER_NOTES.get(experiment_id)
+    if note:
+        handle.write(f"*Paper reference:* {note}\n\n")
+    handle.write("```\n")
+    handle.write(render_table(result))
+    handle.write("\n```\n\n")
+
+
+def write_report(
+    path: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    experiment_ids: Optional[Iterable[str]] = None,
+) -> int:
+    """Run experiments and write the markdown report; returns count."""
+    ids = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# DMC reproduction — measured results\n\n")
+        handle.write(
+            f"Generated {time.strftime('%Y-%m-%d %H:%M:%S')} on "
+            f"{platform.platform()}, Python "
+            f"{platform.python_version()}; dataset scale {scale}, "
+            f"seed {seed}.\n\n"
+        )
+        for experiment_id in ids:
+            result = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+            _write_experiment(handle, experiment_id, result)
+    return len(ids)

@@ -1,0 +1,258 @@
+"""Automated reproduction scorecard (DESIGN.md's acceptance criteria).
+
+Each check runs an experiment and tests one *qualitative* claim from
+the paper — who wins, what grows, where the jump is — returning a
+:class:`ShapeCheck` verdict.  ``python -m repro check`` prints the full
+scorecard; the test suite asserts every check passes at the default
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.figures import (
+    ablation_prunings,
+    ablation_reordering,
+    fig3_memory_curve,
+    fig4_column_density,
+    fig6_bitmap_jump,
+    fig6_breakdown,
+    fig6_comparison,
+    fig6_peak_memory,
+    fig6_time_sweep,
+    fig7_sample_rules,
+)
+
+
+@dataclass
+class ShapeCheck:
+    """One claim's verdict."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+
+def check_fig3_reordering(scale: float = 1.0, seed: int = 0) -> ShapeCheck:
+    """Section 4.1: sparsest-first scanning cuts peak counter memory."""
+    result = fig3_memory_curve(scale=scale, seed=seed, datasets=("Wlog",))
+    original = max(result.column("bytes (original)"))
+    reordered = max(result.column("bytes (sparsest-first)"))
+    ratio = original / reordered if reordered else float("inf")
+    return ShapeCheck(
+        "fig3-reorder",
+        "row re-ordering reduces peak counter memory",
+        reordered < original,
+        f"peak {original:,}B -> {reordered:,}B ({ratio:.1f}x)",
+    )
+
+
+def check_fig4_low_frequency_dominates(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Figure 4: most columns have few 1's on every data set."""
+    datasets = ("Wlog", "plinkF", "News", "dicD")
+    result = fig4_column_density(scale=scale, seed=seed, datasets=datasets)
+    verdicts = []
+    for name in datasets:
+        counts = result.column(name)
+        low = sum(counts[:4])  # fewer than 16 ones
+        verdicts.append(low * 2 > sum(counts))
+    return ShapeCheck(
+        "fig4-lowfreq",
+        "low-frequency columns dominate all four data sets",
+        all(verdicts),
+        f"{sum(verdicts)}/{len(verdicts)} data sets",
+    )
+
+
+def check_fig6ab_time_monotone(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Figure 6(a): raising the threshold does not slow mining."""
+    result = fig6_time_sweep(
+        scale=scale, seed=seed, datasets=("Wlog", "News"),
+        thresholds=(0.95, 0.7),
+    )
+    rows: Dict = {}
+    for row in result.rows:
+        record = dict(zip(result.headers, row))
+        rows[(record["data"], record["threshold"])] = record
+    passed = all(
+        rows[(name, 0.95)]["imp seconds"]
+        <= rows[(name, 0.7)]["imp seconds"] * 1.5
+        for name in ("Wlog", "News")
+    )
+    return ShapeCheck(
+        "fig6ab-monotone",
+        "mining is faster (or equal) at higher thresholds",
+        passed,
+        ", ".join(
+            f"{name}: {rows[(name, 0.95)]['imp seconds']:.2f}s@95% vs "
+            f"{rows[(name, 0.7)]['imp seconds']:.2f}s@70%"
+            for name in ("Wlog", "News")
+        ),
+    )
+
+
+def check_fig6cd_partial_dominates(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Figure 6(c): the <100% phase dominates at low thresholds."""
+    result = fig6_breakdown(
+        scale=scale, seed=seed, dataset="Wlog", thresholds=(0.7,)
+    )
+    record = dict(zip(result.headers, result.rows[0]))
+    passed = (
+        record["<100% s"] > record["100% s"]
+        and record["<100% s"] > record["pre-scan s"]
+    )
+    return ShapeCheck(
+        "fig6cd-partial",
+        "the <100%-rule phase dominates at a 70% threshold",
+        passed,
+        f"pre={record['pre-scan s']:.3f}s 100%={record['100% s']:.3f}s "
+        f"<100%={record['<100% s']:.3f}s",
+    )
+
+
+def check_fig6ef_bitmap_jump(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Figure 6(e): frequency-4 columns flood the bitmap phase below 80%."""
+    result = fig6_bitmap_jump(
+        scale=scale, seed=seed, thresholds=(0.85, 0.75)
+    )
+    by_key = {(row[0], row[1]): dict(zip(result.headers, row))
+              for row in result.rows}
+    high = by_key[("imp", 0.85)]["bitmap phase-2 cols"]
+    low = by_key[("imp", 0.75)]["bitmap phase-2 cols"]
+    return ShapeCheck(
+        "fig6ef-jump",
+        "bitmap phase handles more columns once the threshold "
+        "crosses the frequency-4 cutoff",
+        low > high,
+        f"phase-2 columns: {high} @85% -> {low} @75%",
+    )
+
+
+def check_fig6gh_sim_memory(scale: float = 1.0, seed: int = 0) -> ShapeCheck:
+    """Figure 6(g)/(h): DMC-sim needs less counter memory than DMC-imp."""
+    datasets = ("WlogP", "plinkT", "News", "dicD")
+    result = fig6_peak_memory(
+        scale=scale, seed=seed, datasets=datasets, thresholds=(0.8,)
+    )
+    wins = sum(
+        1
+        for row in result.rows
+        if dict(zip(result.headers, row))["sim peak bytes"]
+        <= dict(zip(result.headers, row))["imp peak bytes"]
+    )
+    return ShapeCheck(
+        "fig6gh-memory",
+        "DMC-sim peak memory <= DMC-imp on (nearly) every data set",
+        wins >= len(datasets) - 1,
+        f"{wins}/{len(datasets)} data sets",
+    )
+
+
+def check_fig6ij_dmc_wins_high_threshold(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Figure 6(i): DMC-imp beats a-priori at the 85% threshold."""
+    result = fig6_comparison(scale=scale, seed=seed, thresholds=(0.85,))
+    record = dict(zip(result.headers, result.rows[0]))
+    passed = record["DMC-imp s"] < record["a-priori s"] * 1.2
+    return ShapeCheck(
+        "fig6ij-dmcwins",
+        "DMC-imp at least matches a-priori at 85% on NewsP",
+        passed,
+        f"DMC {record['DMC-imp s']:.3f}s vs a-priori "
+        f"{record['a-priori s']:.3f}s",
+    )
+
+
+def check_fig7_rule_families(scale: float = 1.0, seed: int = 0) -> ShapeCheck:
+    """Figure 7: the polgar expansion reproduces the chess families."""
+    from repro.datasets.news import CHESS_RULE_FAMILIES
+
+    result = fig7_sample_rules(scale=scale, seed=seed)
+    polgar_consequents = {
+        record[1]
+        for record in result.rows
+        if record[0] == "polgar"
+    }
+    expected = set(CHESS_RULE_FAMILIES["polgar"])
+    coverage = len(polgar_consequents & expected) / len(expected)
+    return ShapeCheck(
+        "fig7-families",
+        "most Figure 7 polgar-consequents are reproduced",
+        coverage >= 0.7,
+        f"{coverage:.0%} of the paper's consequents",
+    )
+
+
+def check_ablation_reordering(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Section 4.1's order-of-magnitude claim (>= 2x asserted)."""
+    result = ablation_reordering(scale=scale, seed=seed, datasets=("Wlog",))
+    record = dict(zip(result.headers, result.rows[0]))
+    return ShapeCheck(
+        "abl-reorder-x",
+        "re-ordering saves at least 2x memory on the access log",
+        record["reduction x"] >= 2,
+        f"{record['reduction x']:.1f}x",
+    )
+
+
+def check_ablation_semantics_free(
+    scale: float = 1.0, seed: int = 0
+) -> ShapeCheck:
+    """Section 5: every pruning leaves the mined rules unchanged."""
+    result = ablation_prunings(scale=scale, seed=seed)
+    passed = result.notes == ["all configurations mined identical rules"]
+    counts = set(result.column("rules"))
+    return ShapeCheck(
+        "abl-prune-safe",
+        "all pruning configurations mine identical rules",
+        passed and len(counts) == 1,
+        f"rule counts seen: {sorted(counts)}",
+    )
+
+
+#: All checks, in paper order.
+ALL_CHECKS: List[Callable[..., ShapeCheck]] = [
+    check_fig3_reordering,
+    check_fig4_low_frequency_dominates,
+    check_fig6ab_time_monotone,
+    check_fig6cd_partial_dominates,
+    check_fig6ef_bitmap_jump,
+    check_fig6gh_sim_memory,
+    check_fig6ij_dmc_wins_high_threshold,
+    check_fig7_rule_families,
+    check_ablation_reordering,
+    check_ablation_semantics_free,
+]
+
+
+def run_all_checks(scale: float = 1.0, seed: int = 0) -> List[ShapeCheck]:
+    """Run the full scorecard."""
+    return [check(scale=scale, seed=seed) for check in ALL_CHECKS]
+
+
+def render_scorecard(checks: List[ShapeCheck]) -> str:
+    """Plain-text scorecard, one line per claim."""
+    lines = ["reproduction scorecard:"]
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(
+            f"  [{status}] {check.claim_id:16s} "
+            f"{check.description} — {check.detail}"
+        )
+    passed = sum(1 for check in checks if check.passed)
+    lines.append(f"{passed}/{len(checks)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Persistence for :class:`~repro.matrix.binary_matrix.BinaryMatrix`.
+
+Two formats are supported:
+
+- a human-readable transactions text format — one row per line, entries
+  separated by spaces; integer entries are column ids, anything else is
+  treated as a label and resolved through a vocabulary header; and
+- a compact ``.npz`` format storing the CSR-like row structure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
+
+_HEADER = "#dmc-matrix"
+_VOCAB_PREFIX = "#vocab "
+_COLUMNS_PREFIX = "#columns "
+
+
+def save_transactions(matrix: BinaryMatrix, path: str) -> None:
+    """Write ``matrix`` in the transactions text format.
+
+    If the matrix has a vocabulary, rows are written using labels;
+    otherwise, using numeric column ids.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_HEADER}\n")
+        handle.write(f"{_COLUMNS_PREFIX}{matrix.n_columns}\n")
+        if matrix.vocabulary is not None:
+            labels = " ".join(matrix.vocabulary.labels())
+            handle.write(f"{_VOCAB_PREFIX}{labels}\n")
+            for _, row in matrix.iter_rows():
+                handle.write(
+                    " ".join(matrix.vocabulary.label_of(c) for c in row)
+                )
+                handle.write("\n")
+        else:
+            for _, row in matrix.iter_rows():
+                handle.write(" ".join(str(c) for c in row))
+                handle.write("\n")
+
+
+def load_transactions(path: str) -> BinaryMatrix:
+    """Read a matrix written by :func:`save_transactions`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if first.rstrip("\n") != _HEADER:
+            raise ValueError(f"{path} is not a dmc-matrix transactions file")
+        n_columns: Optional[int] = None
+        vocabulary: Optional[Vocabulary] = None
+        rows = []
+        for line in handle:
+            line = line.rstrip("\n")
+            if line.startswith(_COLUMNS_PREFIX):
+                n_columns = int(line[len(_COLUMNS_PREFIX) :])
+                continue
+            if line.startswith(_VOCAB_PREFIX):
+                vocabulary = Vocabulary(line[len(_VOCAB_PREFIX) :].split())
+                continue
+            tokens = line.split()
+            if vocabulary is not None:
+                rows.append([vocabulary.id_of(token) for token in tokens])
+            else:
+                rows.append([int(token) for token in tokens])
+        return BinaryMatrix(rows, n_columns=n_columns, vocabulary=vocabulary)
+
+
+def save_npz(matrix: BinaryMatrix, path: str) -> None:
+    """Write ``matrix`` to a compressed ``.npz`` file."""
+    indptr = np.zeros(matrix.n_rows + 1, dtype=np.int64)
+    indices = np.empty(matrix.nnz, dtype=np.int64)
+    position = 0
+    for row_id, row in matrix.iter_rows():
+        indices[position : position + len(row)] = row
+        position += len(row)
+        indptr[row_id + 1] = position
+    arrays = {
+        "indptr": indptr,
+        "indices": indices,
+        "n_columns": np.array([matrix.n_columns], dtype=np.int64),
+    }
+    if matrix.vocabulary is not None:
+        arrays["labels"] = np.array(matrix.vocabulary.labels(), dtype=object)
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str) -> BinaryMatrix:
+    """Read a matrix written by :func:`save_npz`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=True) as data:
+        indptr = data["indptr"]
+        indices = data["indices"]
+        n_columns = int(data["n_columns"][0])
+        vocabulary = None
+        if "labels" in data:
+            vocabulary = Vocabulary(str(label) for label in data["labels"])
+        rows = [
+            indices[indptr[i] : indptr[i + 1]].tolist()
+            for i in range(len(indptr) - 1)
+        ]
+        return BinaryMatrix(rows, n_columns=n_columns, vocabulary=vocabulary)

@@ -1,0 +1,318 @@
+"""Two-pass streaming over on-disk transaction data (Sections 3-4).
+
+The paper's algorithms are explicitly *two-pass*: the first scan counts
+``ones(c_i)`` and — instead of sorting, which would be expensive —
+spills each row into one of at most ``ceil(log2(m)) + 1`` density
+bucket files (Section 4.1); the second scan reads the bucket files
+sparsest-first.  This module reproduces that pipeline for data too
+large to hold as a :class:`BinaryMatrix`:
+
+- :class:`TransactionSource` — anything that can be iterated twice,
+  yielding rows of column ids;
+- :class:`FileSource` — the transactions text format of
+  :mod:`repro.matrix.io` read lazily;
+- :class:`MatrixSource` — an in-memory matrix behind the same interface;
+- :class:`BucketSpill` — the first-scan bucket writer (temp files);
+- :func:`stream_implication_rules` / :func:`stream_similarity_rules` —
+  the full two-pass pipelines over a source.
+
+The streamed pipelines produce exactly the rules of their in-memory
+counterparts; the tests assert it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.miss_counting import BitmapConfig
+from repro.core.policies import (
+    HundredPercentPolicy,
+    IdentityPolicy,
+    ImplicationPolicy,
+    PairPolicy,
+    SimilarityPolicy,
+)
+from repro.core.rules import RuleSet
+from repro.core.stats import ScanStats
+from repro.core.thresholds import (
+    as_fraction,
+    confidence_removal_cutoff,
+    similarity_removal_cutoff,
+)
+from repro.matrix.reorder import bucket_index
+
+
+class TransactionSource:
+    """A re-iterable source of rows (each a tuple of column ids)."""
+
+    def iter_rows(self) -> Iterator[Tuple[int, ...]]:
+        """Yield every row; must be repeatable (two passes)."""
+        raise NotImplementedError
+
+    def n_columns(self) -> Optional[int]:
+        """The column-universe size, if known up front."""
+        return None
+
+
+class MatrixSource(TransactionSource):
+    """Adapt an in-memory :class:`BinaryMatrix` to the interface."""
+
+    def __init__(self, matrix: BinaryMatrix) -> None:
+        self._matrix = matrix
+
+    def iter_rows(self) -> Iterator[Tuple[int, ...]]:
+        for _, row in self._matrix.iter_rows():
+            yield row
+
+    def n_columns(self) -> Optional[int]:
+        return self._matrix.n_columns
+
+
+class IterableSource(TransactionSource):
+    """Wrap a re-iterable of rows (e.g. a list of tuples)."""
+
+    def __init__(
+        self, rows: Iterable[Iterable[int]], columns: Optional[int] = None
+    ) -> None:
+        self._rows = rows
+        self._columns = columns
+
+    def iter_rows(self) -> Iterator[Tuple[int, ...]]:
+        for row in self._rows:
+            yield tuple(sorted(set(int(c) for c in row)))
+
+    def n_columns(self) -> Optional[int]:
+        return self._columns
+
+
+class FileSource(TransactionSource):
+    """Lazily stream a transactions text file (numeric ids only).
+
+    The file may carry the :mod:`repro.matrix.io` header lines; label
+    vocabularies are not supported in streaming mode (resolve labels up
+    front instead).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._columns: Optional[int] = None
+
+    def iter_rows(self) -> Iterator[Tuple[int, ...]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if line.startswith("#columns "):
+                    self._columns = int(line[len("#columns ") :])
+                    continue
+                if line.startswith("#"):
+                    continue
+                if not line:
+                    yield ()
+                    continue
+                yield tuple(
+                    sorted(set(int(token) for token in line.split()))
+                )
+
+    def n_columns(self) -> Optional[int]:
+        return self._columns
+
+
+class BucketSpill:
+    """First-scan density bucketing into temporary spill files.
+
+    Rows are appended to the bucket file for their density range
+    ``[2**i, 2**(i+1))`` as they stream past; ``read_sparsest_first``
+    then replays them bucket by bucket.  Use as a context manager so
+    the temp files are always removed.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._directory = tempfile.mkdtemp(
+            prefix="dmc-buckets-", dir=directory
+        )
+        self._handles: List = []
+        self._paths: List[str] = []
+        self.rows_spilled = 0
+
+    def __enter__(self) -> "BucketSpill":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def add(self, row: Tuple[int, ...]) -> None:
+        """Spill one non-empty row to its density bucket."""
+        if not row:
+            return
+        bucket = bucket_index(len(row))
+        while bucket >= len(self._handles):
+            path = os.path.join(
+                self._directory, f"bucket-{len(self._handles):02d}.txt"
+            )
+            self._paths.append(path)
+            self._handles.append(open(path, "w", encoding="utf-8"))
+        self._handles[bucket].write(" ".join(map(str, row)) + "\n")
+        self.rows_spilled += 1
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of bucket files materialized so far."""
+        return len(self._handles)
+
+    def read_sparsest_first(self) -> Iterator[Tuple[int, ...]]:
+        """Replay all spilled rows, sparsest bucket first."""
+        for handle in self._handles:
+            handle.flush()
+        for path in self._paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    yield tuple(int(token) for token in line.split())
+
+    def close(self) -> None:
+        """Close and delete the spill files."""
+        for handle in self._handles:
+            handle.close()
+        for path in self._paths:
+            if os.path.exists(path):
+                os.remove(path)
+        if os.path.isdir(self._directory):
+            os.rmdir(self._directory)
+        self._handles = []
+        self._paths = []
+
+
+def _first_scan(
+    source: TransactionSource, spill: BucketSpill
+) -> List[int]:
+    """Pass 1: count ones per column while spilling rows to buckets."""
+    counts: List[int] = []
+    declared = source.n_columns()
+    if declared:
+        counts = [0] * declared
+    for row in source.iter_rows():
+        for column in row:
+            if column >= len(counts):
+                counts.extend([0] * (column + 1 - len(counts)))
+            counts[column] += 1
+        spill.add(row)
+    return counts
+
+
+def _scan_spill(
+    spill: BucketSpill,
+    policy: PairPolicy,
+    rules: RuleSet,
+    stats: ScanStats,
+    bitmap: Optional[BitmapConfig],
+    keep: Optional[set] = None,
+    zero_miss: bool = False,
+) -> None:
+    """Pass 2: stream the spilled rows through the scan engine.
+
+    Rows flow straight from the bucket files into the engine — nothing
+    is materialized except the counter array (and, after a bitmap
+    switch, the remaining tail rows, exactly as in Algorithm 4.1).
+    """
+    from repro.core.miss_counting import (
+        miss_counting_scan_rows,
+        zero_miss_scan_rows,
+    )
+
+    def replay() -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        for row_id, row in enumerate(spill.read_sparsest_first()):
+            if keep is not None:
+                row = tuple(c for c in row if c in keep)
+            yield row_id, row
+
+    scan = zero_miss_scan_rows if zero_miss else miss_counting_scan_rows
+    scan(
+        replay(),
+        spill.rows_spilled,
+        policy,
+        stats=stats,
+        bitmap=bitmap,
+        rules=rules,
+    )
+
+
+def stream_implication_rules(
+    source: TransactionSource,
+    minconf,
+    bitmap: Optional[BitmapConfig] = None,
+    spill_dir: Optional[str] = None,
+) -> RuleSet:
+    """Two-pass DMC-imp over a streaming source.
+
+    Pass 1 counts column frequencies and spills rows to density-bucket
+    files; pass 2 replays the buckets sparsest-first through the
+    100%-rule and <100% scans.  Equivalent to
+    :func:`repro.core.dmc_imp.find_implication_rules`.
+    """
+    minconf = as_fraction(minconf)
+    rules = RuleSet()
+    with BucketSpill(directory=spill_dir) as spill:
+        ones = _first_scan(source, spill)
+        _scan_spill(
+            spill,
+            HundredPercentPolicy(ones),
+            rules,
+            ScanStats(),
+            bitmap,
+            zero_miss=True,
+        )
+        if minconf != 1:
+            cutoff = confidence_removal_cutoff(minconf)
+            keep = {c for c, count in enumerate(ones) if count > cutoff}
+            restricted = [
+                count if c in keep else 0 for c, count in enumerate(ones)
+            ]
+            _scan_spill(
+                spill,
+                ImplicationPolicy(restricted, minconf),
+                rules,
+                ScanStats(),
+                bitmap,
+                keep=keep,
+            )
+    return rules
+
+
+def stream_similarity_rules(
+    source: TransactionSource,
+    minsim,
+    bitmap: Optional[BitmapConfig] = None,
+    spill_dir: Optional[str] = None,
+) -> RuleSet:
+    """Two-pass DMC-sim over a streaming source.
+
+    Equivalent to :func:`repro.core.dmc_sim.find_similarity_rules`.
+    """
+    minsim = as_fraction(minsim)
+    rules = RuleSet()
+    with BucketSpill(directory=spill_dir) as spill:
+        ones = _first_scan(source, spill)
+        _scan_spill(
+            spill,
+            IdentityPolicy(ones),
+            rules,
+            ScanStats(),
+            bitmap,
+            zero_miss=True,
+        )
+        if minsim != 1:
+            cutoff = similarity_removal_cutoff(minsim)
+            keep = {c for c, count in enumerate(ones) if count > cutoff}
+            restricted = [
+                count if c in keep else 0 for c, count in enumerate(ones)
+            ]
+            _scan_spill(
+                spill,
+                SimilarityPolicy(restricted, minsim),
+                rules,
+                ScanStats(),
+                bitmap,
+                keep=keep,
+            )
+    return rules

@@ -1,0 +1,77 @@
+"""Comparing two mined rule sets.
+
+Typical uses: how did the rules change between two thresholds, two
+data snapshots, or two algorithm configurations?  The diff is exact —
+pairs are matched by columns, and "changed" means the underlying
+integer statistics differ (e.g. a new data snapshot moved a rule's
+confidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.rules import RuleSet
+from repro.matrix.binary_matrix import Vocabulary
+
+
+@dataclass
+class RuleDiff:
+    """The outcome of :func:`diff_rules`."""
+
+    added: RuleSet
+    removed: RuleSet
+    changed: List[Tuple[object, object]] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when both sets are identical."""
+        return (
+            len(self.added) == 0
+            and len(self.removed) == 0
+            and not self.changed
+        )
+
+    def render(self, vocabulary: Optional[Vocabulary] = None) -> str:
+        """Plain-text summary, one section per change kind."""
+        if self.is_empty:
+            return f"no differences ({self.unchanged} identical rules)"
+        lines = [
+            f"+{len(self.added)} added, -{len(self.removed)} removed, "
+            f"~{len(self.changed)} changed, "
+            f"{self.unchanged} unchanged"
+        ]
+        for rule in self.added.sorted():
+            lines.append(f"  + {rule.format(vocabulary)}")
+        for rule in self.removed.sorted():
+            lines.append(f"  - {rule.format(vocabulary)}")
+        for before, after in self.changed:
+            lines.append(
+                f"  ~ {before.format(vocabulary)} -> "
+                f"{after.format(vocabulary)}"
+            )
+        return "\n".join(lines)
+
+
+def diff_rules(before: RuleSet, after: RuleSet) -> RuleDiff:
+    """Diff two rule sets of the same kind, pair by pair."""
+    before_pairs = before.pairs()
+    after_pairs = after.pairs()
+    added = RuleSet(after[pair] for pair in after_pairs - before_pairs)
+    removed = RuleSet(
+        before[pair] for pair in before_pairs - after_pairs
+    )
+    changed = []
+    unchanged = 0
+    for pair in before_pairs & after_pairs:
+        if before[pair] != after[pair]:
+            changed.append((before[pair], after[pair]))
+        else:
+            unchanged += 1
+    changed.sort(key=lambda pair: pair[0].pair)
+    return RuleDiff(
+        added=added, removed=removed, changed=changed,
+        unchanged=unchanged,
+    )

@@ -1,0 +1,156 @@
+"""Exporting mined rules: text, CSV, and JSON serializations.
+
+Rule sets survive a round trip through each format — the tests assert
+it — so mined results can be archived and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.matrix.binary_matrix import Vocabulary
+
+
+def rules_to_text(
+    rules: RuleSet, vocabulary: Optional[Vocabulary] = None
+) -> str:
+    """One formatted rule per line, in stable pair order."""
+    return "\n".join(rule.format(vocabulary) for rule in rules.sorted())
+
+
+def implication_rules_to_csv(rules: RuleSet, path: str) -> None:
+    """Write implication rules as CSV with exact integer statistics."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["antecedent", "consequent", "hits", "ones"])
+        for rule in rules.sorted():
+            writer.writerow(
+                [rule.antecedent, rule.consequent, rule.hits, rule.ones]
+            )
+
+
+def implication_rules_from_csv(path: str) -> RuleSet:
+    """Read rules written by :func:`implication_rules_to_csv`."""
+    rules = RuleSet()
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for record in csv.DictReader(handle):
+            rules.add(
+                ImplicationRule(
+                    antecedent=int(record["antecedent"]),
+                    consequent=int(record["consequent"]),
+                    hits=int(record["hits"]),
+                    ones=int(record["ones"]),
+                )
+            )
+    return rules
+
+
+def similarity_rules_to_csv(rules: RuleSet, path: str) -> None:
+    """Write similar pairs as CSV with exact integer statistics."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["first", "second", "intersection", "union"])
+        for rule in rules.sorted():
+            writer.writerow(
+                [rule.first, rule.second, rule.intersection, rule.union]
+            )
+
+
+def similarity_rules_from_csv(path: str) -> RuleSet:
+    """Read pairs written by :func:`similarity_rules_to_csv`."""
+    rules = RuleSet()
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for record in csv.DictReader(handle):
+            rules.add(
+                SimilarityRule(
+                    first=int(record["first"]),
+                    second=int(record["second"]),
+                    intersection=int(record["intersection"]),
+                    union=int(record["union"]),
+                )
+            )
+    return rules
+
+
+def rules_to_json(
+    rules: RuleSet, vocabulary: Optional[Vocabulary] = None
+) -> str:
+    """Serialize a rule set (either kind) to a JSON document.
+
+    Confidences/similarities are emitted as exact ``"p/q"`` strings in
+    addition to the integer statistics.
+    """
+    records = []
+    for rule in rules.sorted():
+        if isinstance(rule, ImplicationRule):
+            record = {
+                "kind": "implication",
+                "antecedent": rule.antecedent,
+                "consequent": rule.consequent,
+                "hits": rule.hits,
+                "ones": rule.ones,
+                "confidence": str(rule.confidence),
+            }
+            if vocabulary is not None:
+                record["antecedent_label"] = vocabulary.label_of(
+                    rule.antecedent
+                )
+                record["consequent_label"] = vocabulary.label_of(
+                    rule.consequent
+                )
+        else:
+            record = {
+                "kind": "similarity",
+                "first": rule.first,
+                "second": rule.second,
+                "intersection": rule.intersection,
+                "union": rule.union,
+                "similarity": str(rule.similarity),
+            }
+            if vocabulary is not None:
+                record["first_label"] = vocabulary.label_of(rule.first)
+                record["second_label"] = vocabulary.label_of(rule.second)
+        records.append(record)
+    return json.dumps({"rules": records}, indent=2)
+
+
+def rules_from_json(document: str) -> RuleSet:
+    """Parse rules serialized by :func:`rules_to_json`.
+
+    The exact-fraction fields are validated against the integer
+    statistics on load.
+    """
+    rules = RuleSet()
+    for record in json.loads(document)["rules"]:
+        if record["kind"] == "implication":
+            rule = ImplicationRule(
+                antecedent=record["antecedent"],
+                consequent=record["consequent"],
+                hits=record["hits"],
+                ones=record["ones"],
+            )
+            if Fraction(record["confidence"]) != rule.confidence:
+                raise ValueError(
+                    f"confidence mismatch for {rule.pair}: "
+                    f"{record['confidence']}"
+                )
+        elif record["kind"] == "similarity":
+            rule = SimilarityRule(
+                first=record["first"],
+                second=record["second"],
+                intersection=record["intersection"],
+                union=record["union"],
+            )
+            if Fraction(record["similarity"]) != rule.similarity:
+                raise ValueError(
+                    f"similarity mismatch for {rule.pair}: "
+                    f"{record['similarity']}"
+                )
+        else:
+            raise ValueError(f"unknown rule kind {record['kind']!r}")
+        rules.add(rule)
+    return rules

@@ -1,0 +1,134 @@
+"""Exact interestingness measures for mined rules.
+
+The paper mines by confidence (implication) and Jaccard similarity
+(symmetric pairs); downstream users usually want to *rank* the mined
+rules by secondary measures.  All measures here are computed exactly
+(as :class:`fractions.Fraction`) from the integer statistics the miner
+already carries plus the pre-scan column counts — no extra data passes.
+
+Notation for a rule ``c_i => c_j`` over ``n`` rows: ``ones_i = |S_i|``,
+``ones_j = |S_j|``, ``hits = |S_i ∩ S_j|``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.rules import ImplicationRule, SimilarityRule
+
+
+def support(hits: int, n_rows: int) -> Fraction:
+    """Fraction of all rows containing both columns."""
+    if n_rows <= 0:
+        raise ValueError("n_rows must be positive")
+    return Fraction(hits, n_rows)
+
+
+def lift(
+    hits: int, ones_i: int, ones_j: int, n_rows: int
+) -> Optional[Fraction]:
+    """Observed co-occurrence over independence expectation.
+
+    ``lift > 1`` means positive association.  None when either column
+    is empty (independence expectation is zero).
+    """
+    if ones_i == 0 or ones_j == 0:
+        return None
+    return Fraction(hits * n_rows, ones_i * ones_j)
+
+
+def conviction(
+    hits: int, ones_i: int, ones_j: int, n_rows: int
+) -> Optional[Fraction]:
+    """Brin et al.'s conviction: ``P(i)P(not j) / P(i and not j)``.
+
+    None (conventionally infinity) for exact rules with no
+    counterexamples.
+    """
+    misses = ones_i - hits
+    if misses == 0:
+        return None
+    return Fraction(ones_i * (n_rows - ones_j), misses * n_rows)
+
+
+def jaccard(hits: int, ones_i: int, ones_j: int) -> Optional[Fraction]:
+    """The paper's similarity measure, from rule statistics."""
+    union = ones_i + ones_j - hits
+    if union == 0:
+        return None
+    return Fraction(hits, union)
+
+
+def dice(hits: int, ones_i: int, ones_j: int) -> Optional[Fraction]:
+    """Dice coefficient: ``2|A∩B| / (|A|+|B|)``."""
+    total = ones_i + ones_j
+    if total == 0:
+        return None
+    return Fraction(2 * hits, total)
+
+
+def overlap(hits: int, ones_i: int, ones_j: int) -> Optional[Fraction]:
+    """Overlap coefficient: ``|A∩B| / min(|A|,|B|)``.
+
+    For the canonical direction this equals the rule's confidence —
+    the reason the paper's directed mining covers the symmetric
+    overlap measure for free.
+    """
+    smaller = min(ones_i, ones_j)
+    if smaller == 0:
+        return None
+    return Fraction(hits, smaller)
+
+
+def implication_measures(
+    rule: ImplicationRule,
+    ones: Sequence[int],
+    n_rows: int,
+) -> dict:
+    """All measures for one implication rule, keyed by name."""
+    ones_i = rule.ones
+    ones_j = int(ones[rule.consequent])
+    return {
+        "confidence": rule.confidence,
+        "support": support(rule.hits, n_rows),
+        "lift": lift(rule.hits, ones_i, ones_j, n_rows),
+        "conviction": conviction(rule.hits, ones_i, ones_j, n_rows),
+        "jaccard": jaccard(rule.hits, ones_i, ones_j),
+    }
+
+
+def similarity_measures(rule: SimilarityRule, n_rows: int) -> dict:
+    """All measures for one similar pair, keyed by name.
+
+    Individual cardinalities are not recoverable from ``(intersection,
+    union)`` alone, but Dice is: ``ones_i + ones_j = union +
+    intersection``.
+    """
+    return {
+        "jaccard": rule.similarity,
+        "support": support(rule.intersection, n_rows),
+        "dice": Fraction(
+            2 * rule.intersection, rule.union + rule.intersection
+        ),
+    }
+
+
+def top_rules(
+    rules,
+    ones: Sequence[int],
+    n_rows: int,
+    by: str = "lift",
+    limit: int = 10,
+) -> List[Tuple[ImplicationRule, Fraction]]:
+    """The ``limit`` highest-scoring implication rules by one measure.
+
+    Rules whose measure is undefined (None) sort last and are dropped.
+    """
+    scored = []
+    for rule in rules:
+        value = implication_measures(rule, ones, n_rows).get(by)
+        if value is not None:
+            scored.append((rule, value))
+    scored.sort(key=lambda pair: (-pair[1], pair[0].pair))
+    return scored[:limit]

@@ -1,0 +1,138 @@
+"""Querying mined rule sets: composable filters over rules.
+
+A :class:`RuleQuery` wraps a :class:`~repro.core.rules.RuleSet` and
+narrows it through chainable predicates — by column, label, threshold
+band, or arbitrary callable — without copying until materialized.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterator, List, Optional, Union
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.core.thresholds import as_fraction
+from repro.matrix.binary_matrix import Vocabulary
+
+Rule = Union[ImplicationRule, SimilarityRule]
+
+
+def _strength(rule: Rule) -> Fraction:
+    if isinstance(rule, ImplicationRule):
+        return rule.confidence
+    return rule.similarity
+
+
+class RuleQuery:
+    """A lazy, chainable filter pipeline over a rule set."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        vocabulary: Optional[Vocabulary] = None,
+        predicates: Optional[List[Callable[[Rule], bool]]] = None,
+    ) -> None:
+        self._rules = rules
+        self._vocabulary = vocabulary
+        self._predicates = list(predicates or [])
+
+    # ------------------------------------------------------------------
+    # Chainable filters
+    # ------------------------------------------------------------------
+
+    def _chain(self, predicate: Callable[[Rule], bool]) -> "RuleQuery":
+        return RuleQuery(
+            self._rules,
+            self._vocabulary,
+            self._predicates + [predicate],
+        )
+
+    def where(self, predicate: Callable[[Rule], bool]) -> "RuleQuery":
+        """Keep rules satisfying an arbitrary predicate."""
+        return self._chain(predicate)
+
+    def involving(self, column: Union[int, str]) -> "RuleQuery":
+        """Keep rules touching ``column`` (id or label) on either side."""
+        column = self._resolve(column)
+        return self._chain(lambda rule: column in rule.pair)
+
+    def from_antecedent(self, column: Union[int, str]) -> "RuleQuery":
+        """Keep implication rules whose antecedent is ``column``."""
+        column = self._resolve(column)
+        return self._chain(
+            lambda rule: isinstance(rule, ImplicationRule)
+            and rule.antecedent == column
+        )
+
+    def to_consequent(self, column: Union[int, str]) -> "RuleQuery":
+        """Keep implication rules whose consequent is ``column``."""
+        column = self._resolve(column)
+        return self._chain(
+            lambda rule: isinstance(rule, ImplicationRule)
+            and rule.consequent == column
+        )
+
+    def at_least(self, threshold) -> "RuleQuery":
+        """Keep rules with confidence/similarity >= ``threshold``."""
+        cut = as_fraction(threshold)
+        return self._chain(lambda rule: _strength(rule) >= cut)
+
+    def below(self, threshold) -> "RuleQuery":
+        """Keep rules with confidence/similarity < ``threshold``."""
+        cut = as_fraction(threshold)
+        return self._chain(lambda rule: _strength(rule) < cut)
+
+    def exact_only(self) -> "RuleQuery":
+        """Keep only 100% rules / identical pairs."""
+        return self._chain(lambda rule: _strength(rule) == 1)
+
+    def label_matches(
+        self, predicate: Callable[[str], bool]
+    ) -> "RuleQuery":
+        """Keep rules where *any* side's label satisfies ``predicate``.
+
+        Requires a vocabulary.
+        """
+        if self._vocabulary is None:
+            raise ValueError("label filtering requires a vocabulary")
+        vocabulary = self._vocabulary
+
+        def check(rule: Rule) -> bool:
+            return any(
+                predicate(vocabulary.label_of(column))
+                for column in rule.pair
+            )
+
+        return self._chain(check)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def _resolve(self, column: Union[int, str]) -> int:
+        if isinstance(column, str):
+            if self._vocabulary is None:
+                raise ValueError(
+                    "label lookup requires a vocabulary"
+                )
+            return self._vocabulary.id_of(column)
+        return column
+
+    def __iter__(self) -> Iterator[Rule]:
+        for rule in self._rules:
+            if all(predicate(rule) for predicate in self._predicates):
+                yield rule
+
+    def to_rule_set(self) -> RuleSet:
+        """Materialize the filtered rules as a new RuleSet."""
+        return RuleSet(self)
+
+    def count(self) -> int:
+        """Number of rules passing all filters."""
+        return sum(1 for _ in self)
+
+    def strongest(self, limit: int = 10) -> List[Rule]:
+        """The ``limit`` highest-confidence/similarity survivors."""
+        return sorted(
+            self, key=lambda rule: (-_strength(rule), rule.pair)
+        )[:limit]

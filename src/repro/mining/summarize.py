@@ -1,0 +1,150 @@
+"""Rule-set summaries: the shape of a mining result at a glance.
+
+Mining without support pruning can return tens of thousands of rules
+(most from rare antecedents); before reading any of them, users want
+the distribution — how many rules per confidence band, which columns
+act as hubs, how large the similarity clusters are.  All statistics
+are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rules import ImplicationRule, RuleSet
+from repro.matrix.binary_matrix import Vocabulary
+
+#: Default confidence/similarity band edges for histograms.
+DEFAULT_BANDS = (
+    Fraction(1),
+    Fraction(95, 100),
+    Fraction(9, 10),
+    Fraction(8, 10),
+    Fraction(7, 10),
+)
+
+
+def _strength(rule) -> Fraction:
+    if isinstance(rule, ImplicationRule):
+        return rule.confidence
+    return rule.similarity
+
+
+@dataclass
+class RuleSummary:
+    """Aggregate statistics of one mined rule set."""
+
+    n_rules: int
+    n_exact: int
+    band_counts: Dict[str, int]
+    top_antecedents: List[Tuple[int, int]]
+    top_consequents: List[Tuple[int, int]]
+    strength_min: Optional[Fraction] = None
+    strength_max: Optional[Fraction] = None
+    labels: Optional[Vocabulary] = field(default=None, repr=False)
+
+    def render(self) -> str:
+        """Plain-text report."""
+        lines = [
+            f"{self.n_rules} rules "
+            f"({self.n_exact} exact, i.e. at confidence/similarity 1)"
+        ]
+        if self.strength_min is not None:
+            lines.append(
+                f"strength range: {float(self.strength_min):.3f} "
+                f"to {float(self.strength_max):.3f}"
+            )
+        for band, count in self.band_counts.items():
+            lines.append(f"  {band:12s} {count}")
+
+        def name(column: int) -> str:
+            if self.labels is not None:
+                return self.labels.label_of(column)
+            return f"c{column}"
+
+        if self.top_antecedents:
+            hubs = ", ".join(
+                f"{name(column)} ({count})"
+                for column, count in self.top_antecedents
+            )
+            lines.append(f"top antecedents: {hubs}")
+        if self.top_consequents:
+            hubs = ", ".join(
+                f"{name(column)} ({count})"
+                for column, count in self.top_consequents
+            )
+            lines.append(f"top consequents: {hubs}")
+        return "\n".join(lines)
+
+
+def summarize_rules(
+    rules: RuleSet,
+    vocabulary: Optional[Vocabulary] = None,
+    bands: Sequence[Fraction] = DEFAULT_BANDS,
+    top: int = 5,
+) -> RuleSummary:
+    """Summarize a rule set (implication or similarity).
+
+    ``bands`` are descending edges; a rule falls into the first band
+    whose edge it reaches.  For similarity rules the "antecedent" and
+    "consequent" tallies count each side of the pair.
+    """
+    edges = sorted(set(bands), reverse=True)
+    band_labels = []
+    for index, edge in enumerate(edges):
+        if edge == 1:
+            band_labels.append("= 1")
+        else:
+            band_labels.append(f">= {float(edge):.2f}")
+    band_labels.append(f"< {float(edges[-1]):.2f}")
+    band_counts = {label: 0 for label in band_labels}
+
+    antecedent_counts: Dict[int, int] = {}
+    consequent_counts: Dict[int, int] = {}
+    strength_min = strength_max = None
+    n_exact = 0
+
+    for rule in rules:
+        strength = _strength(rule)
+        if strength_min is None or strength < strength_min:
+            strength_min = strength
+        if strength_max is None or strength > strength_max:
+            strength_max = strength
+        if strength == 1:
+            n_exact += 1
+        for index, edge in enumerate(edges):
+            if strength >= edge and (edge != 1 or strength == 1):
+                band_counts[band_labels[index]] += 1
+                break
+        else:
+            band_counts[band_labels[-1]] += 1
+        if isinstance(rule, ImplicationRule):
+            antecedent_counts[rule.antecedent] = (
+                antecedent_counts.get(rule.antecedent, 0) + 1
+            )
+            consequent_counts[rule.consequent] = (
+                consequent_counts.get(rule.consequent, 0) + 1
+            )
+        else:
+            for column in rule.pair:
+                antecedent_counts[column] = (
+                    antecedent_counts.get(column, 0) + 1
+                )
+
+    def top_of(counts: Dict[int, int]) -> List[Tuple[int, int]]:
+        return sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )[:top]
+
+    return RuleSummary(
+        n_rules=len(rules),
+        n_exact=n_exact,
+        band_counts=band_counts,
+        top_antecedents=top_of(antecedent_counts),
+        top_consequents=top_of(consequent_counts),
+        strength_min=strength_min,
+        strength_max=strength_max,
+        labels=vocabulary,
+    )

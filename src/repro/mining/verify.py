@@ -1,0 +1,79 @@
+"""Exact verification of mined rules against the raw matrix.
+
+The randomized baselines (Min-Hash, K-Min) verify their candidates
+before reporting; the experiment harness verifies *every* algorithm's
+output against the brute-force oracle when recording results.  These
+helpers centralize both checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.core.thresholds import (
+    as_fraction,
+    confidence_holds,
+    similarity_holds,
+)
+from repro.matrix.binary_matrix import BinaryMatrix
+
+
+def verify_implication_rules(
+    matrix: BinaryMatrix,
+    rules: Iterable[ImplicationRule],
+    minconf,
+) -> List[str]:
+    """Return a description of every rule that fails recomputation.
+
+    Empty list == all rules carry correct statistics and clear the
+    threshold.
+    """
+    minconf = as_fraction(minconf)
+    sets = matrix.column_sets()
+    problems = []
+    for rule in rules:
+        hits = len(sets[rule.antecedent] & sets[rule.consequent])
+        ones = len(sets[rule.antecedent])
+        if hits != rule.hits or ones != rule.ones:
+            problems.append(
+                f"{rule}: recomputed hits={hits}, ones={ones}"
+            )
+        elif not confidence_holds(hits, ones, minconf):
+            problems.append(f"{rule}: below threshold {minconf}")
+    return problems
+
+
+def verify_similarity_rules(
+    matrix: BinaryMatrix,
+    rules: Iterable[SimilarityRule],
+    minsim,
+) -> List[str]:
+    """Return a description of every pair that fails recomputation."""
+    minsim = as_fraction(minsim)
+    sets = matrix.column_sets()
+    problems = []
+    for rule in rules:
+        inter = len(sets[rule.first] & sets[rule.second])
+        union = len(sets[rule.first] | sets[rule.second])
+        if inter != rule.intersection or union != rule.union:
+            problems.append(
+                f"{rule}: recomputed intersection={inter}, union={union}"
+            )
+        elif not similarity_holds(inter, union, minsim):
+            problems.append(f"{rule}: below threshold {minsim}")
+    return problems
+
+
+def check_no_false_positives(
+    produced: RuleSet, truth: RuleSet
+) -> Set[Tuple[int, int]]:
+    """Pairs reported but not in the oracle's output."""
+    return produced.pairs() - truth.pairs()
+
+
+def check_no_false_negatives(
+    produced: RuleSet, truth: RuleSet
+) -> Set[Tuple[int, int]]:
+    """Oracle pairs the algorithm failed to report."""
+    return truth.pairs() - produced.pairs()

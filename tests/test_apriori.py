@@ -1,0 +1,158 @@
+"""A-priori baselines (repro.baselines.apriori)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.apriori import (
+    apriori_frequent_itemsets,
+    apriori_pair_rules,
+    apriori_pair_similarity,
+    association_rules_from_itemsets,
+)
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestPairRules:
+    def test_without_support_pruning_matches_oracle(self):
+        for seed in range(10):
+            matrix = random_binary_matrix(seed)
+            got = apriori_pair_rules(matrix, 0.7).rules.pairs()
+            want = implication_rules_bruteforce(matrix, 0.7).pairs()
+            assert got == want, seed
+
+    def test_support_pruning_loses_low_support_rules(self):
+        """The paper's core criticism: a-priori discards low-support
+        antecedents that DMC keeps."""
+        rows = [[0, 1]] * 2 + [[2, 3]] * 20
+        matrix = BinaryMatrix(rows, n_columns=4)
+        truth = implication_rules_bruteforce(matrix, 1).pairs()
+        pruned = apriori_pair_rules(
+            matrix, 1, minsup_count=10
+        ).rules.pairs()
+        assert (0, 1) in truth
+        assert (0, 1) not in pruned
+        assert (2, 3) in pruned
+
+    def test_maxsup_prunes_dense_columns(self):
+        rows = [[0, 1]] * 10 + [[0]] * 10
+        matrix = BinaryMatrix(rows, n_columns=2)
+        result = apriori_pair_rules(matrix, 0.5, maxsup_count=15)
+        assert 0 not in result.frequent_columns  # ones(0) = 20
+
+    def test_counter_model_is_triangular(self):
+        matrix = BinaryMatrix([[0, 1, 2]] * 5, n_columns=3)
+        result = apriori_pair_rules(matrix, 0.5, minsup_count=1)
+        assert result.counters_used == 3  # 3*(3-1)/2
+
+    def test_pair_support_framework(self):
+        rows = [[0, 1]] * 2 + [[0]] * 2 + [[1]] * 10
+        matrix = BinaryMatrix(rows, n_columns=2)
+        # conf(0=>1) = 1/2; pair support 2 < 3.
+        loose = apriori_pair_rules(matrix, 0.5, minsup_count=3)
+        strict = apriori_pair_rules(
+            matrix, 0.5, minsup_count=3, require_pair_support=True
+        )
+        assert (0, 1) in loose.rules.pairs()
+        assert (0, 1) not in strict.rules.pairs()
+
+
+class TestPairSimilarity:
+    def test_matches_oracle(self):
+        for seed in range(8):
+            matrix = random_binary_matrix(seed)
+            got = apriori_pair_similarity(matrix, 0.5).rules.pairs()
+            want = similarity_rules_bruteforce(matrix, 0.5).pairs()
+            assert got == want, seed
+
+
+class TestFrequentItemsets:
+    @pytest.fixture
+    def market(self):
+        return BinaryMatrix(
+            [
+                [0, 1, 2],
+                [0, 1],
+                [0, 1, 2],
+                [1, 2],
+                [0, 2],
+            ],
+            n_columns=3,
+        )
+
+    def test_singletons(self, market):
+        supports = apriori_frequent_itemsets(market, minsup_count=4)
+        assert supports[frozenset([0])] == 4
+        assert supports[frozenset([1])] == 4
+        assert supports[frozenset([2])] == 4
+
+    def test_pairs_and_triples(self, market):
+        supports = apriori_frequent_itemsets(market, minsup_count=2)
+        assert supports[frozenset([0, 1])] == 3
+        assert supports[frozenset([0, 1, 2])] == 2
+
+    def test_minsup_filters_levels(self, market):
+        supports = apriori_frequent_itemsets(market, minsup_count=3)
+        assert frozenset([0, 1, 2]) not in supports
+        assert frozenset([0, 1]) in supports
+
+    def test_max_size_cap(self, market):
+        supports = apriori_frequent_itemsets(
+            market, minsup_count=1, max_size=2
+        )
+        assert all(len(itemset) <= 2 for itemset in supports)
+
+    def test_supports_match_direct_count(self, market):
+        supports = apriori_frequent_itemsets(market, minsup_count=1)
+        for itemset, support in supports.items():
+            direct = sum(
+                1
+                for _, row in market.iter_rows()
+                if itemset <= set(row)
+            )
+            assert support == direct
+
+    def test_invalid_minsup(self, market):
+        with pytest.raises(ValueError):
+            apriori_frequent_itemsets(market, minsup_count=0)
+
+    def test_downward_closure(self):
+        matrix = random_binary_matrix(21)
+        supports = apriori_frequent_itemsets(matrix, minsup_count=2)
+        for itemset in supports:
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert itemset - {item} in supports
+
+
+class TestAssociationRules:
+    def test_multi_attribute_rules(self):
+        matrix = BinaryMatrix(
+            [[0, 1, 2]] * 4 + [[0, 1]] * 1, n_columns=3
+        )
+        supports = apriori_frequent_itemsets(matrix, minsup_count=2)
+        rules = association_rules_from_itemsets(supports, 0.8)
+        found = {
+            (tuple(sorted(x)), tuple(sorted(y))) for x, y, _, _ in rules
+        }
+        # {0,1} => {2} has confidence 4/5.
+        assert ((0, 1), (2,)) in found
+
+    def test_confidence_threshold_applied(self):
+        matrix = BinaryMatrix([[0, 1]] * 1 + [[0]] * 3, n_columns=2)
+        supports = apriori_frequent_itemsets(matrix, minsup_count=1)
+        rules = association_rules_from_itemsets(supports, 0.9)
+        antecedents = {tuple(sorted(x)) for x, _, _, _ in rules}
+        assert (0,) not in antecedents  # conf({0}=>{1}) = 1/4
+
+    def test_rule_stats(self):
+        matrix = BinaryMatrix([[0, 1]] * 3, n_columns=2)
+        supports = apriori_frequent_itemsets(matrix, minsup_count=1)
+        rules = association_rules_from_itemsets(supports, Fraction(1))
+        for _, _, support_xy, support_x in rules:
+            assert support_xy == support_x == 3

@@ -1,0 +1,132 @@
+"""The DMC-bitmap tail (repro.core.bitmap, Algorithm 4.1)."""
+
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.core.bitmap import bitmap_tail
+from repro.core.candidates import CandidateArray
+from repro.core.miss_counting import BitmapConfig, miss_counting_scan
+from repro.core.policies import (
+    HundredPercentPolicy,
+    IdentityPolicy,
+    ImplicationPolicy,
+    SimilarityPolicy,
+)
+from repro.core.rules import RuleSet
+from repro.core.stats import ScanStats
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+def _run_tail_only(matrix, policy):
+    """Run the tail over the whole matrix (switch at row zero)."""
+    rules = RuleSet()
+    stats = ScanStats()
+    remaining = [(r, row) for r, row in matrix.iter_rows() if row]
+    bitmap_tail(
+        remaining,
+        policy,
+        [0] * matrix.n_columns,
+        CandidateArray(),
+        rules,
+        stats,
+    )
+    return rules, stats
+
+
+class TestTailAlone:
+    """With cnt == 0 everywhere, Phase 2 must mine the whole matrix."""
+
+    def test_implication_from_scratch(self):
+        for seed in range(10):
+            matrix = random_binary_matrix(seed)
+            policy = ImplicationPolicy(matrix.column_ones(), 0.7)
+            rules, _ = _run_tail_only(matrix, policy)
+            want = implication_rules_bruteforce(matrix, 0.7).pairs()
+            assert rules.pairs() == want, seed
+
+    def test_similarity_from_scratch(self):
+        for seed in range(10):
+            matrix = random_binary_matrix(seed)
+            policy = SimilarityPolicy(matrix.column_ones(), 0.6)
+            rules, _ = _run_tail_only(matrix, policy)
+            want = similarity_rules_bruteforce(matrix, 0.6).pairs()
+            assert rules.pairs() == want, seed
+
+    def test_identity_from_scratch(self):
+        matrix = BinaryMatrix(
+            [[0, 1, 3], [0, 1], [0, 1, 2, 3]], n_columns=4
+        )
+        policy = IdentityPolicy(matrix.column_ones())
+        rules, _ = _run_tail_only(matrix, policy)
+        assert rules.pairs() == {(0, 1)}
+
+    def test_stats_record_bitmap_bytes_and_columns(self):
+        matrix = random_binary_matrix(4)
+        policy = ImplicationPolicy(matrix.column_ones(), 0.7)
+        _, stats = _run_tail_only(matrix, policy)
+        assert stats.bitmap_bytes > 0
+        assert stats.bitmap_phase2_columns > 0
+        assert stats.bitmap_seconds > 0
+
+
+class TestSwitchAtEveryPoint:
+    """Forcing the switch at any remaining-row count must not change
+    the mined rules — the strongest equivalence check for the tail."""
+
+    def test_implication_all_switch_points(self):
+        matrix = random_binary_matrix(8)
+        policy = ImplicationPolicy(matrix.column_ones(), 0.6)
+        baseline = miss_counting_scan(matrix, policy).pairs()
+        n_rows = sum(1 for _, row in matrix.iter_rows() if row)
+        for remaining in range(1, n_rows + 1):
+            config = BitmapConfig(
+                switch_rows=remaining, memory_budget_bytes=0
+            )
+            got = miss_counting_scan(
+                matrix, policy, bitmap=config
+            ).pairs()
+            assert got == baseline, remaining
+
+    def test_similarity_all_switch_points(self):
+        matrix = random_binary_matrix(9)
+        policy = SimilarityPolicy(matrix.column_ones(), 0.5)
+        baseline = miss_counting_scan(matrix, policy).pairs()
+        n_rows = sum(1 for _, row in matrix.iter_rows() if row)
+        for remaining in range(1, n_rows + 1):
+            config = BitmapConfig(
+                switch_rows=remaining, memory_budget_bytes=0
+            )
+            got = miss_counting_scan(
+                matrix, policy, bitmap=config
+            ).pairs()
+            assert got == baseline, remaining
+
+    def test_hundred_percent_all_switch_points(self):
+        matrix = random_binary_matrix(10)
+        policy = HundredPercentPolicy(matrix.column_ones())
+        baseline = miss_counting_scan(matrix, policy).pairs()
+        n_rows = sum(1 for _, row in matrix.iter_rows() if row)
+        for remaining in range(1, n_rows + 1):
+            config = BitmapConfig(
+                switch_rows=remaining, memory_budget_bytes=0
+            )
+            got = miss_counting_scan(
+                matrix, policy, bitmap=config
+            ).pairs()
+            assert got == baseline, remaining
+
+
+class TestPhaseSplit:
+    def test_closed_columns_go_through_phase1(self):
+        # Column 0 has low budget: after two misses it is closed, so at
+        # switch time it must be finished by Phase 1.
+        matrix = BinaryMatrix(
+            [[0, 1], [0], [0], [0, 1], [1], [0, 1]], n_columns=2
+        )
+        policy = ImplicationPolicy(matrix.column_ones(), 0.75)
+        stats = ScanStats()
+        config = BitmapConfig(switch_rows=2, memory_budget_bytes=0)
+        miss_counting_scan(matrix, policy, bitmap=config, stats=stats)
+        assert stats.bitmap_phase1_columns >= 1

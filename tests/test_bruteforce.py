@@ -1,0 +1,125 @@
+"""The exact oracle itself (repro.baselines.bruteforce)."""
+
+from fractions import Fraction
+
+from repro.baselines.bruteforce import (
+    confidence_of,
+    cooccurrence_counts,
+    implication_rules_bruteforce,
+    similarity_of,
+    similarity_rules_bruteforce,
+)
+from repro.matrix.binary_matrix import BinaryMatrix
+
+
+class TestCooccurrence:
+    def test_counts_by_hand(self):
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1, 2], [1, 2]], n_columns=3
+        )
+        counts = {
+            (i, j): inter for i, j, inter in cooccurrence_counts(matrix)
+        }
+        assert counts == {(0, 1): 2, (0, 2): 1, (1, 2): 2}
+
+    def test_non_cooccurring_pairs_absent(self):
+        matrix = BinaryMatrix([[0], [1]], n_columns=2)
+        assert list(cooccurrence_counts(matrix)) == []
+
+
+class TestImplicationOracle:
+    def test_hand_computed(self):
+        # S0 = {0,1}, S1 = {0,1,2}: conf(0=>1) = 1, canonical 0=>1.
+        matrix = BinaryMatrix([[0, 1], [0, 1], [1]], n_columns=2)
+        rules = implication_rules_bruteforce(matrix, 1)
+        assert rules.pairs() == {(0, 1)}
+        assert rules[(0, 1)].confidence == 1
+
+    def test_canonical_direction_only(self):
+        # conf(1=>0) = 2/3 but 1 is denser: only 0=>1 is considered.
+        matrix = BinaryMatrix([[0, 1], [0, 1], [1]], n_columns=2)
+        rules = implication_rules_bruteforce(matrix, 0.5)
+        assert rules.pairs() == {(0, 1)}
+
+    def test_threshold_exactness(self):
+        # Canonical rule 0 => 1 (ones 3 < 4) with conf = 2/3; mining at
+        # exactly 2/3 keeps it, just above drops it.
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [0], [1], [1]], n_columns=2
+        )
+        assert implication_rules_bruteforce(
+            matrix, Fraction(2, 3)
+        ).pairs() == {(0, 1)}
+        assert (
+            implication_rules_bruteforce(matrix, Fraction(67, 100)).pairs()
+            == set()
+        )
+
+    def test_confidence_of(self):
+        matrix = BinaryMatrix([[0, 1], [0]], n_columns=2)
+        assert confidence_of(matrix, 0, 1) == Fraction(1, 2)
+        assert confidence_of(matrix, 1, 0) == 1
+
+    def test_confidence_of_empty_column(self):
+        matrix = BinaryMatrix([[0]], n_columns=2)
+        assert confidence_of(matrix, 1, 0) is None
+
+
+class TestSimilarityOracle:
+    def test_hand_computed(self):
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [0], [1]], n_columns=2
+        )
+        rules = similarity_rules_bruteforce(matrix, 0.5)
+        assert rules.pairs() == {(0, 1)}
+        assert rules[(0, 1)].similarity == Fraction(2, 4)
+
+    def test_symmetric_canonical_pair(self):
+        matrix = BinaryMatrix([[0, 1], [1]], n_columns=2)
+        rules = similarity_rules_bruteforce(matrix, 0.5)
+        # ones(0)=1 < ones(1)=2 -> first must be column 0.
+        rule = rules[(0, 1)]
+        assert rule.first == 0 and rule.second == 1
+
+    def test_similarity_of(self):
+        matrix = BinaryMatrix([[0, 1], [1]], n_columns=2)
+        assert similarity_of(matrix, 0, 1) == Fraction(1, 2)
+
+    def test_similarity_of_empty_columns(self):
+        matrix = BinaryMatrix([[]], n_columns=2)
+        assert similarity_of(matrix, 0, 1) is None
+
+    def test_identical_columns(self):
+        matrix = BinaryMatrix([[0, 1], [0, 1]], n_columns=2)
+        rules = similarity_rules_bruteforce(matrix, 1)
+        assert rules[(0, 1)].similarity == 1
+
+
+class TestPairwiseIntersections:
+    def test_matches_set_intersections(self):
+        from repro.baselines.bruteforce import pairwise_intersections
+        from tests.conftest import random_binary_matrix
+
+        matrix = random_binary_matrix(17)
+        sets = matrix.column_sets()
+        pairs = [
+            (i, j)
+            for i in range(matrix.n_columns)
+            for j in range(matrix.n_columns)
+            if i != j
+        ]
+        bulk = pairwise_intersections(matrix, pairs)
+        for i, j in pairs:
+            assert bulk[(i, j)] == len(sets[i] & sets[j])
+
+    def test_empty_batch(self):
+        from repro.baselines.bruteforce import pairwise_intersections
+
+        matrix = BinaryMatrix([[0]], n_columns=1)
+        assert pairwise_intersections(matrix, []) == {}
+
+    def test_empty_columns(self):
+        from repro.baselines.bruteforce import pairwise_intersections
+
+        matrix = BinaryMatrix([[0]], n_columns=3)
+        assert pairwise_intersections(matrix, [(0, 2)]) == {(0, 2): 0}

@@ -1,0 +1,96 @@
+"""The counter array (repro.core.candidates)."""
+
+from repro.core.candidates import (
+    BYTES_PER_ENTRY,
+    BYTES_PER_LIST,
+    CandidateArray,
+)
+
+
+class TestLifecycle:
+    def test_ensure_creates_once(self):
+        cand = CandidateArray()
+        first = cand.ensure(3)
+        assert cand.ensure(3) is first
+        assert cand.has_list(3)
+
+    def test_get_missing_is_none(self):
+        assert CandidateArray().get(0) is None
+
+    def test_release_clears_entries(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        cand.add(0, 1, 0)
+        cand.release(0)
+        assert cand.total_entries == 0
+        assert not cand.has_list(0)
+
+    def test_release_is_idempotent(self):
+        cand = CandidateArray()
+        cand.release(0)
+        assert cand.total_entries == 0
+
+    def test_open_columns(self):
+        cand = CandidateArray()
+        cand.ensure(2)
+        cand.ensure(5)
+        assert set(cand.open_columns()) == {2, 5}
+
+
+class TestEntries:
+    def test_add_and_items(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        cand.add(0, 1, 2)
+        assert list(cand.items(0)) == [(1, 2)]
+
+    def test_remove(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        cand.add(0, 1, 0)
+        cand.remove(0, 1)
+        assert cand.total_entries == 0
+        assert list(cand.items(0)) == []
+
+    def test_items_of_missing_column_is_empty(self):
+        assert list(CandidateArray().items(9)) == []
+
+    def test_total_entries_across_lists(self):
+        cand = CandidateArray()
+        for column in (0, 1):
+            cand.ensure(column)
+            cand.add(column, 5, 0)
+        assert cand.total_entries == 2
+
+
+class TestMemoryModel:
+    def test_memory_bytes_formula(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        cand.add(0, 1, 0)
+        cand.add(0, 2, 0)
+        assert cand.memory_bytes() == 2 * BYTES_PER_ENTRY + BYTES_PER_LIST
+
+    def test_peaks_are_monotone(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        for k in range(1, 6):
+            cand.add(0, k, 0)
+        peak_before = cand.peak_bytes
+        cand.release(0)
+        assert cand.peak_bytes == peak_before
+        assert cand.peak_entries == 5
+
+    def test_peak_tracks_high_watermark(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        cand.add(0, 1, 0)
+        cand.remove(0, 1)
+        cand.add(0, 2, 0)
+        assert cand.peak_entries == 1
+        assert cand.total_entries == 1
+
+    def test_repr(self):
+        cand = CandidateArray()
+        cand.ensure(0)
+        assert "lists=1" in repr(cand)

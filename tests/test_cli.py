@@ -1,0 +1,102 @@
+"""The command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.scale == 1.0
+        assert args.seed == 0
+
+    def test_experiment_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--scale", "0.5", "--seed", "9"]
+        )
+        assert args.scale == 0.5
+        assert args.seed == 9
+
+    def test_mine_imp_options(self):
+        args = build_parser().parse_args(
+            ["mine-imp", "data.txt", "--minconf", "0.8", "--limit", "5"]
+        )
+        assert args.path == "data.txt"
+        assert args.minconf == 0.8
+        assert args.limit == 5
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExperimentCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig7" in out
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1", "--scale", "0.2"]) == 0
+        assert "plinkF" in capsys.readouterr().out
+
+    def test_runs_fig4_small(self, capsys):
+        assert main(["fig4", "--scale", "0.2"]) == 0
+        assert "Column density" in capsys.readouterr().out
+
+
+class TestMiningCommands:
+    @pytest.fixture
+    def transactions_file(self, tmp_path):
+        from repro.matrix.binary_matrix import BinaryMatrix
+        from repro.matrix.io import save_transactions
+
+        matrix = BinaryMatrix.from_transactions(
+            [["a", "b"], ["a", "b"], ["a", "b", "c"], ["c"]]
+        )
+        path = str(tmp_path / "data.txt")
+        save_transactions(matrix, path)
+        return path
+
+    def test_mine_imp(self, capsys, transactions_file):
+        assert main(["mine-imp", transactions_file, "--minconf", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "a -> b" in out or "b -> a" in out
+
+    def test_mine_sim(self, capsys, transactions_file):
+        assert main(["mine-sim", transactions_file, "--minsim", "0.9"]) == 0
+        assert "~" in capsys.readouterr().out
+
+    def test_limit_truncates(self, capsys, transactions_file):
+        assert main(
+            ["mine-imp", transactions_file, "--minconf", "0.5",
+             "--limit", "1"]
+        ) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["mine-imp", str(tmp_path / "nope.txt")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_generate_then_mine(self, capsys, tmp_path):
+        out = str(tmp_path / "dicd.txt")
+        assert main(
+            ["generate", "dicD", "--out", out, "--scale", "0.3"]
+        ) == 0
+        assert "wrote dicD" in capsys.readouterr().out
+        assert main(["mine-sim", out, "--minsim", "0.7"]) == 0
+
+    def test_unknown_dataset(self, capsys, tmp_path):
+        code = main(
+            ["generate", "nope", "--out", str(tmp_path / "x.txt")]
+        )
+        assert code == 2
+        assert "unknown data set" in capsys.readouterr().err

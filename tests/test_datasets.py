@@ -1,0 +1,258 @@
+"""Synthetic dataset generators (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.core.dmc_sim import find_similarity_rules
+from repro.datasets.dictionary import SYNONYM_FAMILIES, generate_dictionary
+from repro.datasets.news import (
+    CHESS_RULE_FAMILIES,
+    generate_news,
+    generate_news_pruned,
+)
+from repro.datasets.registry import DATASETS, dataset_names, load_dataset
+from repro.datasets.synthetic import (
+    heavy_tail_row_sizes,
+    planted_rule_matrix,
+    planted_similarity_matrix,
+    random_matrix,
+    zipf_weights,
+)
+from repro.datasets.weblink import generate_weblink
+from repro.datasets.weblog import generate_weblog, generate_weblog_pruned
+
+
+class TestSyntheticPrimitives:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(49))
+
+    def test_zipf_weights_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_random_matrix_density(self):
+        matrix = random_matrix(200, 50, density=0.2, seed=1)
+        observed = matrix.nnz / (200 * 50)
+        assert 0.15 < observed < 0.25
+
+    def test_planted_rule_matrix_has_planted_confidence(self):
+        matrix = planted_rule_matrix(
+            100, 10, rules=[(0, 1, 0.9)], seed=7
+        )
+        truth = implication_rules_bruteforce(matrix, 0.9)
+        assert (0, 1) in truth.pairs()
+
+    def test_planted_similarity_matrix_has_planted_pairs(self):
+        matrix = planted_similarity_matrix(
+            150, 12, groups=[([0, 1, 2], 0.8)], seed=7
+        )
+        truth = similarity_rules_bruteforce(matrix, 0.75)
+        assert {(0, 1), (0, 2), (1, 2)} <= truth.pairs()
+
+    def test_heavy_tail_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = heavy_tail_row_sizes(
+            rng, 1000, typical=3, heavy_fraction=0.01, heavy_size=200
+        )
+        assert sizes.max() >= 100
+        assert np.median(sizes) <= 10
+
+    def test_heavy_tail_maximum_clamp(self):
+        rng = np.random.default_rng(0)
+        sizes = heavy_tail_row_sizes(
+            rng, 100, typical=3, heavy_fraction=0.5, heavy_size=500,
+            maximum=50,
+        )
+        assert sizes.max() <= 50
+
+
+class TestWeblog:
+    def test_shape_and_determinism(self):
+        a = generate_weblog(n_clients=150, n_urls=60, seed=3)
+        b = generate_weblog(n_clients=150, n_urls=60, seed=3)
+        assert a == b
+        assert a.n_rows == 150
+        assert a.n_columns == 60
+
+    def test_different_seeds_differ(self):
+        a = generate_weblog(n_clients=100, n_urls=50, seed=1)
+        b = generate_weblog(n_clients=100, n_urls=50, seed=2)
+        assert a != b
+
+    def test_crawlers_create_dense_rows(self):
+        matrix = generate_weblog(
+            n_clients=300, n_urls=100, crawler_fraction=0.01, seed=0
+        )
+        densities = matrix.row_densities()
+        assert densities.max() > 60
+        assert np.median(densities) < 15
+
+    def test_bundles_create_high_confidence_rules(self):
+        matrix = generate_weblog(
+            n_clients=800, n_urls=120, n_bundles=4, bundle_size=3, seed=1
+        )
+        rules = implication_rules_bruteforce(matrix, 0.8)
+        assert len(rules) > 0
+
+    def test_has_vocabulary(self):
+        matrix = generate_weblog(
+            n_clients=50, n_urls=20, n_bundles=2, seed=0
+        )
+        assert matrix.vocabulary.label_of(0).startswith("/page/")
+
+    def test_too_many_bundles_rejected(self):
+        with pytest.raises(ValueError):
+            generate_weblog(n_clients=10, n_urls=10, n_bundles=10,
+                            bundle_size=5)
+
+    def test_pruned_variant_removes_sparse_columns(self):
+        pruned = generate_weblog_pruned(
+            n_clients=400, n_urls=150, seed=0
+        )
+        full = generate_weblog(n_clients=400, n_urls=150, seed=0)
+        assert pruned.n_columns < full.n_columns
+        assert all(pruned.column_ones() >= 11)
+
+
+class TestWeblink:
+    def test_orientations_are_transposes(self):
+        forward = generate_weblink(n_pages=80, orientation="F", seed=4)
+        transposed = generate_weblink(n_pages=80, orientation="T", seed=4)
+        assert forward.transpose() == transposed
+
+    def test_invalid_orientation(self):
+        with pytest.raises(ValueError):
+            generate_weblink(n_pages=10, orientation="X")
+
+    def test_frequency_mass_columns_exist(self):
+        matrix = generate_weblink(
+            n_pages=200,
+            frequency_mass_columns=40,
+            frequency_mass=4,
+            orientation="F",
+            seed=0,
+        )
+        ones = matrix.column_ones()
+        assert int((ones == 4).sum()) >= 30
+
+    def test_templates_create_similar_columns(self):
+        # Keep the frequency-mass rewiring small relative to the page
+        # count so it does not break up the planted templates.
+        matrix = generate_weblink(
+            n_pages=200,
+            n_templates=4,
+            template_pages=5,
+            frequency_mass_columns=20,
+            seed=2,
+        )
+        rules = find_similarity_rules(matrix, 0.85)
+        assert len(rules) >= 4  # at least some template pairs survive
+
+    def test_determinism(self):
+        a = generate_weblink(n_pages=60, seed=9)
+        b = generate_weblink(n_pages=60, seed=9)
+        assert a == b
+
+
+class TestNews:
+    def test_chess_rules_planted(self):
+        matrix = generate_news(n_documents=1500, seed=0)
+        pruned = matrix.prune_columns_by_support(min_ones=5)
+        rules = implication_rules_bruteforce(pruned, 0.85)
+        vocabulary = pruned.vocabulary
+        polgar = vocabulary.id_of("polgar")
+        consequents = {
+            vocabulary.label_of(rule.consequent)
+            for rule in rules
+            if rule.antecedent == polgar
+        }
+        # Most of the Figure 7 consequents must be implied by 'polgar'.
+        expected = set(CHESS_RULE_FAMILIES["polgar"])
+        assert len(consequents & expected) >= len(expected) * 0.7
+
+    def test_vocabulary_contains_topic_words(self):
+        matrix = generate_news(n_documents=100, seed=1)
+        assert "kasparov" in matrix.vocabulary
+
+    def test_determinism(self):
+        assert generate_news(n_documents=200, seed=5) == generate_news(
+            n_documents=200, seed=5
+        )
+
+    def test_pruned_variant_support_bounds(self):
+        matrix = generate_news_pruned(
+            n_documents=500, minsup_count=4, seed=0
+        )
+        ones = matrix.column_ones()
+        assert all(ones >= 4)
+        assert all(ones <= 0.2 * matrix.n_rows)
+
+
+class TestDictionary:
+    def test_synonyms_are_similar(self):
+        matrix = generate_dictionary(
+            n_head_words=300, n_definition_words=200, seed=0
+        )
+        rules = find_similarity_rules(matrix, 0.7)
+        vocabulary = matrix.vocabulary
+        found_pairs = {
+            frozenset(
+                (vocabulary.label_of(r.first), vocabulary.label_of(r.second))
+            )
+            for r in rules
+        }
+        assert (
+            frozenset(("brother-in-law", "sister-in-law")) in found_pairs
+        )
+
+    def test_all_families_recovered(self):
+        matrix = generate_dictionary(seed=1)
+        rules = find_similarity_rules(matrix, 0.6)
+        vocabulary = matrix.vocabulary
+        similar = {
+            frozenset((r.first, r.second)) for r in rules
+        }
+        for family in SYNONYM_FAMILIES:
+            ids = [vocabulary.id_of(w) for w in family]
+            for i in range(len(ids)):
+                for j in range(i + 1, len(ids)):
+                    assert frozenset((ids[i], ids[j])) in similar, family
+
+    def test_too_many_family_members_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dictionary(
+                n_head_words=3,
+                families=[("a", "b"), ("c", "d")],
+            )
+
+
+class TestRegistry:
+    def test_names_match_table1(self):
+        assert dataset_names() == (
+            "Wlog", "WlogP", "plinkF", "plinkT", "News", "NewsP", "dicD",
+        )
+
+    def test_all_specs_build_at_small_scale(self):
+        for name, spec in DATASETS.items():
+            matrix = spec.build(scale=0.2, seed=0)
+            assert matrix.n_rows > 0, name
+            assert matrix.nnz > 0, name
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["plinkF"].paper_columns == 697824
+        assert DATASETS["Wlog"].paper_rows == 218518
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_load_dataset_deterministic(self):
+        assert load_dataset("dicD", scale=0.3, seed=2) == load_dataset(
+            "dicD", scale=0.3, seed=2
+        )

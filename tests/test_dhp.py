@@ -1,0 +1,60 @@
+"""DHP hash-pruned pair mining (repro.baselines.dhp)."""
+
+from repro.baselines.apriori import apriori_pair_rules
+from repro.baselines.dhp import dhp_pair_rules
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestAgreementWithApriori:
+    def test_same_rules_as_pair_support_apriori(self):
+        for seed in range(10):
+            matrix = random_binary_matrix(seed)
+            for minsup in (1, 2, 3):
+                want = apriori_pair_rules(
+                    matrix,
+                    0.6,
+                    minsup_count=minsup,
+                    require_pair_support=True,
+                ).rules.pairs()
+                got = dhp_pair_rules(
+                    matrix, 0.6, minsup_count=minsup
+                ).rules.pairs()
+                assert got == want, (seed, minsup)
+
+    def test_tiny_bucket_count_still_correct(self):
+        """With few buckets the filter passes more pairs but never
+        rejects a frequent one."""
+        matrix = random_binary_matrix(30)
+        want = apriori_pair_rules(
+            matrix, 0.5, minsup_count=2, require_pair_support=True
+        ).rules.pairs()
+        got = dhp_pair_rules(
+            matrix, 0.5, minsup_count=2, n_buckets=2
+        ).rules.pairs()
+        assert got == want
+
+
+class TestPruningEffect:
+    def test_fewer_counters_than_touched_pairs(self):
+        # One hot pair plus many once-off pairs that share no bucket
+        # mass: DHP should count fewer pairs than a-priori touches.
+        rows = [[0, 1]] * 20 + [[2 + i, 30 + i] for i in range(20)]
+        matrix = BinaryMatrix(rows, n_columns=50)
+        dhp = dhp_pair_rules(matrix, 0.5, minsup_count=5, n_buckets=997)
+        assert dhp.counters_used <= 3
+        assert (0, 1) in dhp.rules.pairs()
+
+    def test_bucket_diagnostics(self):
+        matrix = BinaryMatrix([[0, 1]] * 3, n_columns=2)
+        result = dhp_pair_rules(matrix, 1, minsup_count=2, n_buckets=8)
+        assert result.n_buckets == 8
+        assert 1 <= result.buckets_passed <= 8
+
+    def test_maxsup_filter(self):
+        rows = [[0, 1]] * 10 + [[0]] * 20
+        matrix = BinaryMatrix(rows, n_columns=2)
+        result = dhp_pair_rules(
+            matrix, 0.5, minsup_count=2, maxsup_count=15
+        )
+        assert result.rules.pairs() == set()  # column 0 too dense

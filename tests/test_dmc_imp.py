@@ -1,0 +1,141 @@
+"""The DMC-imp pipeline (repro.core.dmc_imp, Algorithm 4.2)."""
+
+from fractions import Fraction
+
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.core.stats import PipelineStats
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import EXAMPLE31_RULES, random_binary_matrix
+
+
+class TestPipelineCorrectness:
+    def test_example31(self, example31):
+        rules = find_implication_rules(example31, 0.8)
+        assert rules.pairs() == EXAMPLE31_RULES
+
+    def test_matches_oracle_across_thresholds(self):
+        for seed in range(15):
+            matrix = random_binary_matrix(seed)
+            for threshold in (1.0, 0.9, 0.66, 0.4):
+                got = find_implication_rules(matrix, threshold).pairs()
+                want = implication_rules_bruteforce(
+                    matrix, threshold
+                ).pairs()
+                assert got == want, (seed, threshold)
+
+    def test_all_option_combinations_agree(self):
+        matrix = random_binary_matrix(42)
+        baseline = find_implication_rules(matrix, 0.7).pairs()
+        for reordering in (True, False):
+            for hundred in (True, False):
+                for bitmap in (
+                    None,
+                    BitmapConfig(),
+                    BitmapConfig(switch_rows=10**9, memory_budget_bytes=0),
+                ):
+                    options = PruningOptions(
+                        row_reordering=reordering,
+                        hundred_percent_pass=hundred,
+                        bitmap=bitmap,
+                    )
+                    got = find_implication_rules(
+                        matrix, 0.7, options=options
+                    ).pairs()
+                    assert got == baseline, options
+
+    def test_rule_statistics_are_exact(self):
+        matrix = random_binary_matrix(5)
+        rules = find_implication_rules(matrix, 0.5)
+        sets = matrix.column_sets()
+        for rule in rules:
+            assert rule.ones == len(sets[rule.antecedent])
+            assert rule.hits == len(
+                sets[rule.antecedent] & sets[rule.consequent]
+            )
+
+    def test_confidences_meet_threshold(self):
+        matrix = random_binary_matrix(6)
+        rules = find_implication_rules(matrix, 0.75)
+        assert all(
+            rule.confidence >= Fraction(3, 4) for rule in rules
+        )
+
+    def test_monotone_in_threshold(self):
+        matrix = random_binary_matrix(7)
+        low = find_implication_rules(matrix, 0.5).pairs()
+        high = find_implication_rules(matrix, 0.9).pairs()
+        assert high <= low
+
+
+class TestHundredPercentShortCircuit:
+    def test_minconf_one_runs_single_pass(self, example31):
+        stats = PipelineStats()
+        rules = find_implication_rules(example31, 1, stats=stats)
+        assert "<100%-rules" not in stats.breakdown()
+        assert all(rule.confidence == 1 for rule in rules)
+
+    def test_minconf_one_matches_oracle(self):
+        for seed in range(10):
+            matrix = random_binary_matrix(seed)
+            got = find_implication_rules(matrix, 1).pairs()
+            want = implication_rules_bruteforce(matrix, 1).pairs()
+            assert got == want
+
+
+class TestColumnRemoval:
+    def test_removed_columns_counted(self):
+        # Columns with a zero miss budget at 90% (ones <= 9) are
+        # removed before the <100% pass.
+        matrix = BinaryMatrix(
+            [[0, 1] for _ in range(3)] + [[1, 2] for _ in range(20)],
+            n_columns=3,
+        )
+        stats = PipelineStats()
+        find_implication_rules(matrix, 0.9, stats=stats)
+        assert stats.columns_removed == 1  # column 0 has only 3 ones
+
+    def test_boundary_column_with_one_miss_budget_is_kept(self):
+        """The paper's '<= 1/(1-minconf)' cutoff would drop a column of
+        exactly 10 ones at 90% even though it still allows one miss;
+        the exact cutoff keeps it and its 9/10 rule is found."""
+        rows = [[0, 1]] * 9 + [[0]] + [[1]] * 15
+        matrix = BinaryMatrix(rows, n_columns=2)
+        rules = find_implication_rules(matrix, 0.9)
+        assert (0, 1) in rules.pairs()
+        assert rules[(0, 1)].confidence == Fraction(9, 10)
+
+
+class TestPipelineStats:
+    def test_phases_recorded(self, example31):
+        stats = PipelineStats()
+        find_implication_rules(example31, 0.8, stats=stats)
+        breakdown = stats.breakdown()
+        assert set(breakdown) == {"pre-scan", "100%-rules", "<100%-rules"}
+        assert stats.total_seconds > 0
+
+    def test_combined_pass_when_disabled(self, example31):
+        stats = PipelineStats()
+        find_implication_rules(
+            example31,
+            0.8,
+            options=PruningOptions(hundred_percent_pass=False),
+            stats=stats,
+        )
+        assert "combined" in stats.breakdown()
+
+    def test_rule_counts_split(self, example31):
+        stats = PipelineStats()
+        rules = find_implication_rules(example31, 0.8, stats=stats)
+        assert (
+            stats.rules_hundred_percent + stats.rules_partial == len(rules)
+        )
+
+    def test_peak_bytes_spans_both_passes(self, example31):
+        stats = PipelineStats()
+        find_implication_rules(example31, 0.8, stats=stats)
+        assert stats.peak_bytes == max(
+            stats.hundred_percent_scan.peak_bytes,
+            stats.partial_scan.peak_bytes,
+        )

@@ -1,0 +1,117 @@
+"""The DMC-sim pipeline (repro.core.dmc_sim, Algorithm 5.1)."""
+
+from fractions import Fraction
+
+from repro.baselines.bruteforce import similarity_rules_bruteforce
+from repro.core.dmc_imp import PruningOptions
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.core.stats import PipelineStats
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestPipelineCorrectness:
+    def test_matches_oracle_across_thresholds(self):
+        for seed in range(15):
+            matrix = random_binary_matrix(seed)
+            for threshold in (1.0, 0.8, 0.5, 0.34):
+                got = find_similarity_rules(matrix, threshold).pairs()
+                want = similarity_rules_bruteforce(
+                    matrix, threshold
+                ).pairs()
+                assert got == want, (seed, threshold)
+
+    def test_all_option_combinations_agree(self):
+        matrix = random_binary_matrix(43)
+        baseline = find_similarity_rules(matrix, 0.5).pairs()
+        for density in (True, False):
+            for max_hits in (True, False):
+                for hundred in (True, False):
+                    options = PruningOptions(
+                        density_pruning=density,
+                        max_hits_pruning=max_hits,
+                        hundred_percent_pass=hundred,
+                        bitmap=BitmapConfig(
+                            switch_rows=7, memory_budget_bytes=0
+                        ),
+                    )
+                    got = find_similarity_rules(
+                        matrix, 0.5, options=options
+                    ).pairs()
+                    assert got == baseline, options
+
+    def test_statistics_are_exact(self):
+        matrix = random_binary_matrix(3)
+        rules = find_similarity_rules(matrix, 0.4)
+        sets = matrix.column_sets()
+        for rule in rules:
+            assert rule.intersection == len(
+                sets[rule.first] & sets[rule.second]
+            )
+            assert rule.union == len(sets[rule.first] | sets[rule.second])
+
+    def test_similarities_meet_threshold(self):
+        matrix = random_binary_matrix(4)
+        rules = find_similarity_rules(matrix, 0.6)
+        assert all(
+            rule.similarity >= Fraction(3, 5) for rule in rules
+        )
+
+    def test_monotone_in_threshold(self):
+        matrix = random_binary_matrix(11)
+        low = find_similarity_rules(matrix, 0.4).pairs()
+        high = find_similarity_rules(matrix, 0.8).pairs()
+        assert high <= low
+
+    def test_pairs_are_canonical(self):
+        matrix = random_binary_matrix(12)
+        ones = matrix.column_ones()
+        for rule in find_similarity_rules(matrix, 0.4):
+            assert (ones[rule.first], rule.first) < (
+                ones[rule.second],
+                rule.second,
+            )
+
+
+class TestIdenticalColumns:
+    def test_minsim_one_finds_exact_duplicates(self):
+        matrix = BinaryMatrix(
+            [[0, 1, 2], [0, 1], [0, 1, 3], [3]], n_columns=4
+        )
+        rules = find_similarity_rules(matrix, 1)
+        assert rules.pairs() == {(0, 1)}
+        assert rules[(0, 1)].similarity == 1
+
+    def test_minsim_one_skips_partial_pass(self):
+        matrix = random_binary_matrix(2)
+        stats = PipelineStats()
+        find_similarity_rules(matrix, 1, stats=stats)
+        assert "<100%-rules" not in stats.breakdown()
+
+    def test_identical_pass_feeds_final_result(self):
+        # Duplicated sparse columns must survive even though the <100%
+        # pass removes them (their ones fall below the cutoff).
+        rows = [[0, 1]] * 2 + [[2, 3]] * 30 + [[2]] * 5
+        matrix = BinaryMatrix(rows, n_columns=4)
+        rules = find_similarity_rules(matrix, 0.9)
+        assert (0, 1) in rules.pairs()
+
+
+class TestBoundaryCutoffs:
+    def test_boundary_similarity_at_cutoff_is_kept(self):
+        """At minsim = 3/4, a pair with ones 3 and 4 sharing all three
+        rows has similarity exactly 3/4; the paper's removal cutoff
+        would drop the sparse column, the exact cutoff keeps it."""
+        rows = [[0, 1]] * 3 + [[1]] + [[2]] * 10
+        matrix = BinaryMatrix(rows, n_columns=3)
+        rules = find_similarity_rules(matrix, 0.75)
+        assert (0, 1) in rules.pairs()
+        assert rules[(0, 1)].similarity == Fraction(3, 4)
+
+    def test_stats_column_removal(self):
+        rows = [[0]] + [[1, 2]] * 20
+        matrix = BinaryMatrix(rows, n_columns=3)
+        stats = PipelineStats()
+        find_similarity_rules(matrix, 0.75, stats=stats)
+        assert stats.columns_removed >= 1  # column 0: one 1 only

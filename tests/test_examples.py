@@ -1,0 +1,50 @@
+"""Every example script must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "web_similarity.py",
+        "news_topic_rules.py",
+        "dictionary_synonyms.py",
+        "access_log_insights.py",
+        "streaming_two_pass.py",
+        "custom_policy.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_output_mentions_rules():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "->" in completed.stdout
+    assert "~" in completed.stdout

@@ -1,0 +1,187 @@
+"""The experiment harness and figure definitions (repro.experiments).
+
+Experiments run here at small scale; the assertions check structure and
+the paper's qualitative shapes, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_prunings,
+    ablation_reordering,
+    extension_partitioned,
+    extension_streaming,
+    fig3_memory_curve,
+    fig4_column_density,
+    fig6_bitmap_jump,
+    fig6_breakdown,
+    fig6_comparison,
+    fig6_peak_memory,
+    fig6_time_sweep,
+    fig7_sample_rules,
+    table1_dataset_sizes,
+)
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    render_table,
+    run_experiment,
+    timed,
+)
+
+SCALE = 0.25
+
+
+class TestHarness:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "t", ("a", "b"))
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t", ("a", "b"))
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+
+    def test_render_table_contains_everything(self):
+        result = ExperimentResult("x", "title", ("col",))
+        result.add_row(42)
+        result.notes.append("a note")
+        text = render_table(result)
+        assert "title" in text and "42" in text and "a note" in text
+
+    def test_registry_contains_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig3", "fig4", "fig6ab", "fig6cd", "fig6ef",
+            "fig6gh", "fig6ij", "fig7", "concl", "abl-reorder",
+            "abl-prune", "ext-partition", "ext-stream",
+        }
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table1", scale=SCALE)
+        assert result.experiment_id == "table1"
+
+    def test_timed_returns_seconds_and_value(self):
+        seconds, value = timed(sum, [1, 2, 3])
+        assert value == 6
+        assert seconds >= 0
+
+
+class TestTable1:
+    def test_all_seven_datasets(self):
+        result = table1_dataset_sizes(scale=SCALE)
+        assert result.column("data") == [
+            "Wlog", "WlogP", "plinkF", "plinkT", "News", "NewsP", "dicD",
+        ]
+        assert all(rows > 0 for rows in result.column("rows"))
+
+
+class TestFig3:
+    def test_reordering_reduces_peak(self):
+        result = fig3_memory_curve(scale=SCALE, datasets=("Wlog",))
+        original = max(result.column("bytes (original)"))
+        reordered = max(result.column("bytes (sparsest-first)"))
+        assert reordered < original
+
+
+class TestFig4:
+    def test_histogram_covers_all_columns(self):
+        result = fig4_column_density(scale=SCALE, datasets=("dicD",))
+        from repro.datasets.registry import load_dataset
+
+        matrix = load_dataset("dicD", scale=SCALE, seed=0)
+        nonzero_columns = int((matrix.column_ones() > 0).sum())
+        assert sum(result.column("dicD")) == nonzero_columns
+
+
+class TestFig6Sweeps:
+    def test_time_sweep_shape(self):
+        result = fig6_time_sweep(
+            scale=SCALE, datasets=("dicD",), thresholds=(1.0, 0.75)
+        )
+        assert len(result.rows) == 2
+        # More rules at the lower threshold.
+        rules = dict(
+            zip(result.column("threshold"), result.column("imp rules"))
+        )
+        assert rules[0.75] >= rules[1.0]
+
+    def test_breakdown_phases_sum(self):
+        result = fig6_breakdown(
+            scale=SCALE, dataset="dicD", thresholds=(0.8,)
+        )
+        for row in result.rows:
+            row_map = dict(zip(result.headers, row))
+            parts = (
+                row_map["pre-scan s"]
+                + row_map["100% s"]
+                + row_map["<100% s"]
+            )
+            assert parts == pytest.approx(row_map["total s"], rel=0.05)
+
+    def test_bitmap_jump_reports_phase2_columns(self):
+        result = fig6_bitmap_jump(
+            scale=1.0, thresholds=(0.85, 0.75)
+        )
+        by_key = {
+            (row[0], row[1]): row for row in result.rows
+        }
+        # Frequency-4 columns survive at 0.75 but not at 0.85.
+        assert (
+            by_key[("imp", 0.75)][4] > by_key[("imp", 0.85)][4]
+        )
+
+    def test_peak_memory_has_both_kinds(self):
+        result = fig6_peak_memory(
+            scale=SCALE, datasets=("dicD",), thresholds=(0.8,)
+        )
+        row = dict(zip(result.headers, result.rows[0]))
+        assert row["imp peak bytes"] > 0
+        assert row["sim peak bytes"] > 0
+
+
+class TestFig6Comparison:
+    def test_comparison_runs_and_agrees(self):
+        result = fig6_comparison(scale=SCALE, thresholds=(0.85,))
+        assert len(result.rows) == 1
+        assert not any("disagree" in note for note in result.notes)
+
+
+class TestFig7:
+    def test_polgar_rules_found(self):
+        result = fig7_sample_rules(scale=0.5)
+        antecedents = set(result.column("antecedent"))
+        assert "polgar" in antecedents
+        assert all(
+            confidence >= 0.85
+            for confidence in result.column("confidence")
+        )
+
+
+class TestExtensions:
+    def test_partitioned_experiment(self):
+        result = extension_partitioned(
+            scale=SCALE, partition_counts=(1, 3)
+        )
+        assert result.notes == [
+            "all partition counts mined the single-pass rule set"
+        ]
+        assert len(set(result.column("rules"))) == 1
+
+    def test_streaming_experiment(self):
+        result = extension_streaming(scale=SCALE, thresholds=(0.9,))
+        assert result.column("agree") == [True]
+
+
+class TestAblations:
+    def test_reordering_ablation(self):
+        result = ablation_reordering(scale=SCALE, datasets=("Wlog",))
+        row = dict(zip(result.headers, result.rows[0]))
+        assert row["reduction x"] > 1
+
+    def test_pruning_ablation_rules_identical(self):
+        result = ablation_prunings(scale=SCALE)
+        assert result.notes == ["all configurations mined identical rules"]
+        rule_counts = set(result.column("rules"))
+        assert len(rule_counts) == 1

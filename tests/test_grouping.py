@@ -1,0 +1,218 @@
+"""Rule graphs and keyword expansion (repro.mining.grouping)."""
+
+import pytest
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.matrix.binary_matrix import Vocabulary
+from repro.mining.grouping import (
+    expand_keyword,
+    format_rules,
+    implication_rule_graph,
+    similarity_components,
+    similarity_rule_graph,
+)
+
+
+@pytest.fixture
+def chess_rules():
+    """A miniature Figure 7 rule graph: 0=polgar, 1=judit, 2=chess,
+    3=kasparov, 4=unrelated."""
+    return RuleSet(
+        [
+            ImplicationRule(0, 1, 9, 10),
+            ImplicationRule(0, 2, 10, 10),
+            ImplicationRule(1, 3, 9, 10),
+            ImplicationRule(3, 2, 19, 20),
+            ImplicationRule(4, 2, 5, 5),
+        ]
+    )
+
+
+@pytest.fixture
+def chess_vocabulary():
+    return Vocabulary(["polgar", "judit", "chess", "kasparov", "other"])
+
+
+class TestGraphs:
+    def test_implication_graph_edges(self, chess_rules):
+        graph = implication_rule_graph(chess_rules)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert graph[0][1]["confidence"] == chess_rules[(0, 1)].confidence
+
+    def test_similarity_graph_is_undirected(self):
+        rules = [SimilarityRule(0, 1, 3, 4)]
+        graph = similarity_rule_graph(rules)
+        assert graph.has_edge(1, 0)
+
+
+class TestExpandKeyword:
+    def test_expansion_reaches_successors(self, chess_rules):
+        expanded = expand_keyword(chess_rules, 0)
+        pairs = {rule.pair for rule in expanded}
+        # polgar -> {judit, chess}; judit -> kasparov; kasparov -> chess.
+        assert pairs == {(0, 1), (0, 2), (1, 3), (3, 2)}
+
+    def test_unrelated_rules_excluded(self, chess_rules):
+        expanded = expand_keyword(chess_rules, 0)
+        assert all(rule.antecedent != 4 for rule in expanded)
+
+    def test_depth_limit(self, chess_rules):
+        expanded = expand_keyword(chess_rules, 0, max_depth=1)
+        assert {rule.pair for rule in expanded} == {(0, 1), (0, 2)}
+
+    def test_label_seed(self, chess_rules, chess_vocabulary):
+        expanded = expand_keyword(
+            chess_rules, "polgar", vocabulary=chess_vocabulary
+        )
+        assert expanded[0].antecedent == 0
+
+    def test_label_without_vocabulary_rejected(self, chess_rules):
+        with pytest.raises(ValueError):
+            expand_keyword(chess_rules, "polgar")
+
+    def test_unknown_seed_returns_empty(self, chess_rules):
+        assert expand_keyword(chess_rules, 99) == []
+
+    def test_breadth_first_order(self, chess_rules):
+        expanded = expand_keyword(chess_rules, 0)
+        # Depth-1 rules (antecedent 0) come before depth-2 rules.
+        antecedents = [rule.antecedent for rule in expanded]
+        assert antecedents[:2] == [0, 0]
+
+    def test_cycles_terminate(self):
+        rules = RuleSet(
+            [ImplicationRule(0, 1, 5, 5), ImplicationRule(1, 0, 5, 6)]
+        )
+        expanded = expand_keyword(rules, 0)
+        assert {rule.pair for rule in expanded} == {(0, 1), (1, 0)}
+
+
+class TestSimilarityComponents:
+    def test_components_found(self):
+        rules = [
+            SimilarityRule(0, 1, 3, 4),
+            SimilarityRule(1, 2, 3, 4),
+            SimilarityRule(5, 6, 2, 2),
+        ]
+        components = similarity_components(rules)
+        assert components == [{0, 1, 2}, {5, 6}]
+
+    def test_largest_component_first(self):
+        rules = [
+            SimilarityRule(7, 8, 1, 1),
+            SimilarityRule(0, 1, 1, 1),
+            SimilarityRule(1, 2, 1, 1),
+        ]
+        assert len(similarity_components(rules)[0]) == 3
+
+    def test_empty_rules(self):
+        assert similarity_components([]) == []
+
+
+class TestFormatRules:
+    def test_layout_columns(self, chess_rules, chess_vocabulary):
+        text = format_rules(
+            expand_keyword(chess_rules, 0), chess_vocabulary, columns=2
+        )
+        lines = text.splitlines()
+        assert "polgar -> judit" in lines[0]
+        assert "polgar -> chess" in lines[0]
+
+    def test_empty(self):
+        assert format_rules([]) == "(no rules)"
+
+
+class TestEquivalenceGroups:
+    def test_mutual_implications_form_a_group(self):
+        from repro.mining.grouping import implication_equivalence_groups
+
+        rules = RuleSet(
+            [
+                ImplicationRule(0, 1, 9, 10),
+                ImplicationRule(1, 0, 9, 10),
+                ImplicationRule(2, 0, 5, 5),  # one-way only
+            ]
+        )
+        groups = implication_equivalence_groups(rules)
+        assert groups == [{0, 1}]
+
+    def test_cycle_of_three(self):
+        from repro.mining.grouping import implication_equivalence_groups
+
+        rules = RuleSet(
+            [
+                ImplicationRule(0, 1, 1, 1),
+                ImplicationRule(1, 2, 1, 1),
+                ImplicationRule(2, 0, 1, 1),
+            ]
+        )
+        assert implication_equivalence_groups(rules) == [{0, 1, 2}]
+
+    def test_largest_group_first(self):
+        from repro.mining.grouping import implication_equivalence_groups
+
+        rules = RuleSet(
+            [
+                ImplicationRule(0, 1, 1, 1),
+                ImplicationRule(1, 0, 1, 1),
+                ImplicationRule(2, 3, 1, 1),
+                ImplicationRule(3, 4, 1, 1),
+                ImplicationRule(4, 2, 1, 1),
+            ]
+        )
+        groups = implication_equivalence_groups(rules)
+        assert [len(g) for g in groups] == [3, 2]
+
+    def test_no_groups_in_a_dag(self):
+        from repro.mining.grouping import implication_equivalence_groups
+
+        rules = RuleSet(
+            [ImplicationRule(0, 1, 1, 1), ImplicationRule(1, 2, 1, 1)]
+        )
+        assert implication_equivalence_groups(rules) == []
+
+    def test_identical_columns_group_on_real_data(self):
+        from repro.core.dmc_imp import find_implication_rules
+        from repro.matrix.binary_matrix import BinaryMatrix
+        from repro.mining.grouping import implication_equivalence_groups
+
+        # Columns 0 and 1 identical => mutual 100% implication.
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [2], [0, 1, 2]], n_columns=3
+        )
+        rules = find_implication_rules(matrix, 1)
+        # Canonical mining emits only 0 => 1; the reverse edge is
+        # derivable from the pre-scan counts.
+        groups = implication_equivalence_groups(
+            rules, ones=matrix.column_ones(), threshold=1
+        )
+        assert groups == [{0, 1}]
+        # Without the counts, no reverse edges => no groups.
+        assert implication_equivalence_groups(rules) == []
+
+
+class TestGroupDag:
+    def test_condensation_is_acyclic(self):
+        import networkx as nx
+
+        from repro.mining.grouping import group_implication_dag
+
+        rules = RuleSet(
+            [
+                ImplicationRule(0, 1, 1, 1),
+                ImplicationRule(1, 0, 1, 1),
+                ImplicationRule(1, 2, 1, 1),
+            ]
+        )
+        dag = group_implication_dag(rules)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert frozenset({0, 1}) in dag.nodes
+        assert dag.has_edge(frozenset({0, 1}), frozenset({2}))
+
+    def test_singletons_kept_as_nodes(self):
+        from repro.mining.grouping import group_implication_dag
+
+        rules = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        dag = group_implication_dag(rules)
+        assert set(dag.nodes) == {frozenset({0}), frozenset({1})}

@@ -1,0 +1,108 @@
+"""End-to-end integration: every registry data set, every miner,
+checked against the oracle at small scale.
+
+These are the closest tests to "running the paper": realistic (if
+scaled) data through the full pipelines, with exactness verified.
+"""
+
+import pytest
+
+from repro.baselines.apriori import apriori_pair_rules
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.core.partitioned import (
+    find_implication_rules_partitioned,
+    find_similarity_rules_partitioned,
+)
+from repro.datasets.registry import DATASETS
+from repro.matrix.stream import MatrixSource, stream_implication_rules
+from repro.mining.verify import (
+    verify_implication_rules,
+    verify_similarity_rules,
+)
+
+SCALE = 0.12
+OPTIONS = PruningOptions(
+    bitmap=BitmapConfig(switch_rows=32, memory_budget_bytes=4096)
+)
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    return {
+        name: spec.build(scale=SCALE, seed=3)
+        for name, spec in DATASETS.items()
+    }
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+@pytest.mark.parametrize("threshold", [0.9, 0.75])
+def test_dmc_imp_exact_on_every_dataset(matrices, name, threshold):
+    matrix = matrices[name]
+    got = find_implication_rules(matrix, threshold, options=OPTIONS)
+    want = implication_rules_bruteforce(matrix, threshold)
+    assert got.pairs() == want.pairs()
+    assert verify_implication_rules(matrix, got, threshold) == []
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+@pytest.mark.parametrize("threshold", [0.9, 0.7])
+def test_dmc_sim_exact_on_every_dataset(matrices, name, threshold):
+    matrix = matrices[name]
+    got = find_similarity_rules(matrix, threshold, options=OPTIONS)
+    want = similarity_rules_bruteforce(matrix, threshold)
+    assert got.pairs() == want.pairs()
+    assert verify_similarity_rules(matrix, got, threshold) == []
+
+
+@pytest.mark.parametrize("name", ["WlogP", "NewsP", "dicD"])
+def test_partitioned_matches_pipeline(matrices, name):
+    matrix = matrices[name]
+    pipeline = find_implication_rules(matrix, 0.8, options=OPTIONS)
+    partitioned = find_implication_rules_partitioned(
+        matrix, 0.8, n_partitions=3
+    )
+    assert partitioned.pairs() == pipeline.pairs()
+    sim_pipeline = find_similarity_rules(matrix, 0.7, options=OPTIONS)
+    sim_partitioned = find_similarity_rules_partitioned(
+        matrix, 0.7, n_partitions=3
+    )
+    assert sim_partitioned.pairs() == sim_pipeline.pairs()
+
+
+@pytest.mark.parametrize("name", ["Wlog", "News"])
+def test_streaming_matches_pipeline(matrices, name):
+    matrix = matrices[name]
+    streamed = stream_implication_rules(MatrixSource(matrix), 0.85)
+    pipeline = find_implication_rules(matrix, 0.85, options=OPTIONS)
+    assert streamed.pairs() == pipeline.pairs()
+
+
+def test_parallel_workers_match_serial(matrices):
+    matrix = matrices["dicD"]
+    serial = find_implication_rules_partitioned(
+        matrix, 0.8, n_partitions=4
+    )
+    parallel = find_implication_rules_partitioned(
+        matrix, 0.8, n_partitions=4, n_workers=2
+    )
+    assert parallel.pairs() == serial.pairs()
+
+
+def test_apriori_agrees_with_dmc_on_newsp(matrices):
+    matrix = matrices["NewsP"]
+    dmc = find_implication_rules(matrix, 0.85, options=OPTIONS)
+    apriori = apriori_pair_rules(matrix, 0.85)
+    assert dmc.pairs() == apriori.rules.pairs()
+
+
+def test_rule_statistics_verified_everywhere(matrices):
+    """The mined statistics on realistic data always recompute."""
+    for name, matrix in matrices.items():
+        rules = find_implication_rules(matrix, 0.8, options=OPTIONS)
+        assert verify_implication_rules(matrix, rules, 0.8) == [], name

@@ -1,0 +1,74 @@
+"""K-Min bottom-k confidence estimation (repro.baselines.kmin)."""
+
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.baselines.kmin import bottom_k_samples, kmin_implication_rules
+from repro.datasets.synthetic import planted_rule_matrix
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestBottomK:
+    def test_sample_is_subset_of_column(self):
+        matrix = random_binary_matrix(1)
+        samples = bottom_k_samples(matrix, k=5)
+        for column, sample in samples.items():
+            assert set(sample) <= matrix.column_set(column)
+
+    def test_sample_size_capped_at_k(self):
+        matrix = BinaryMatrix([[0]] * 20, n_columns=1)
+        samples = bottom_k_samples(matrix, k=5)
+        assert len(samples[0]) == 5
+
+    def test_small_column_fully_sampled(self):
+        matrix = BinaryMatrix([[0]] * 3, n_columns=1)
+        samples = bottom_k_samples(matrix, k=10)
+        assert len(samples[0]) == 3
+
+    def test_empty_columns_skipped(self):
+        matrix = BinaryMatrix([[0]], n_columns=2)
+        assert 1 not in bottom_k_samples(matrix, k=4)
+
+    def test_deterministic_per_seed(self):
+        matrix = random_binary_matrix(4)
+        assert bottom_k_samples(matrix, 4, seed=9) == bottom_k_samples(
+            matrix, 4, seed=9
+        )
+
+
+class TestMining:
+    def test_no_false_positives_ever(self):
+        for seed in range(8):
+            matrix = random_binary_matrix(seed)
+            truth = implication_rules_bruteforce(matrix, 0.7)
+            result = kmin_implication_rules(matrix, 0.7, k=8, seed=seed)
+            assert result.rules.pairs() <= truth.pairs(), seed
+
+    def test_full_sampling_finds_everything(self):
+        """With k >= n the sample is exact, so there are no misses."""
+        for seed in range(6):
+            matrix = random_binary_matrix(seed)
+            truth = implication_rules_bruteforce(matrix, 0.75)
+            result = kmin_implication_rules(
+                matrix, 0.75, k=matrix.n_rows + 1, slack=0.0
+            )
+            assert result.false_negatives(truth) == set(), seed
+
+    def test_planted_rules_recovered(self):
+        matrix = planted_rule_matrix(
+            150, 12, rules=[(0, 1, 0.95), (2, 3, 0.9)], seed=4
+        )
+        truth = implication_rules_bruteforce(matrix, 0.85)
+        result = kmin_implication_rules(matrix, 0.85, k=60, seed=0)
+        assert result.false_negative_rate(truth) <= 0.1
+
+    def test_false_negative_rate_empty_truth(self):
+        matrix = BinaryMatrix([[0], [1]], n_columns=2)
+        truth = implication_rules_bruteforce(matrix, 1)
+        result = kmin_implication_rules(matrix, 1, k=4)
+        assert result.false_negative_rate(truth) == 0.0
+
+    def test_diagnostics(self):
+        matrix = random_binary_matrix(3)
+        result = kmin_implication_rules(matrix, 0.6, k=7)
+        assert result.k == 7
+        assert result.candidates_checked >= len(result.rules)

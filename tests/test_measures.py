@@ -1,0 +1,127 @@
+"""Interestingness measures (repro.mining.measures)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.core.rules import ImplicationRule, SimilarityRule
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.mining.measures import (
+    conviction,
+    dice,
+    implication_measures,
+    jaccard,
+    lift,
+    overlap,
+    similarity_measures,
+    support,
+    top_rules,
+)
+
+
+class TestScalarMeasures:
+    def test_support(self):
+        assert support(3, 12) == Fraction(1, 4)
+
+    def test_support_invalid_rows(self):
+        with pytest.raises(ValueError):
+            support(1, 0)
+
+    def test_lift_independent_is_one(self):
+        # P(i)=1/2, P(j)=1/2, P(ij)=1/4 over 4 rows.
+        assert lift(1, 2, 2, 4) == 1
+
+    def test_lift_positive_association(self):
+        assert lift(2, 2, 2, 4) == 2
+
+    def test_lift_empty_column(self):
+        assert lift(0, 0, 3, 4) is None
+
+    def test_conviction_exact_rule_is_none(self):
+        assert conviction(5, 5, 7, 10) is None
+
+    def test_conviction_value(self):
+        # ones_i=4, hits=3, ones_j=5, n=10: (4*5)/(1*10) = 2.
+        assert conviction(3, 4, 5, 10) == 2
+
+    def test_jaccard(self):
+        assert jaccard(2, 3, 4) == Fraction(2, 5)
+
+    def test_jaccard_empty(self):
+        assert jaccard(0, 0, 0) is None
+
+    def test_dice(self):
+        assert dice(2, 3, 4) == Fraction(4, 7)
+
+    def test_dice_empty(self):
+        assert dice(0, 0, 0) is None
+
+    def test_overlap_equals_canonical_confidence(self):
+        # For ones_i <= ones_j, overlap == hits/ones_i == confidence.
+        assert overlap(3, 4, 9) == Fraction(3, 4)
+
+    def test_overlap_empty(self):
+        assert overlap(0, 0, 5) is None
+
+
+class TestRuleMeasures:
+    def test_implication_measures_consistent_with_matrix(self):
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [0], [1], [2]], n_columns=3
+        )
+        rules = implication_rules_bruteforce(matrix, 0.5)
+        ones = matrix.column_ones()
+        for rule in rules:
+            measures = implication_measures(rule, ones, matrix.n_rows)
+            assert measures["confidence"] == rule.confidence
+            assert measures["support"] == Fraction(
+                rule.hits, matrix.n_rows
+            )
+            inter = rule.hits
+            expected_lift = Fraction(
+                inter * matrix.n_rows,
+                rule.ones * int(ones[rule.consequent]),
+            )
+            assert measures["lift"] == expected_lift
+
+    def test_similarity_measures(self):
+        rule = SimilarityRule(0, 1, intersection=3, union=5)
+        measures = similarity_measures(rule, n_rows=10)
+        assert measures["jaccard"] == Fraction(3, 5)
+        assert measures["support"] == Fraction(3, 10)
+        assert measures["dice"] == Fraction(6, 8)
+
+
+class TestTopRules:
+    def test_ranking_by_lift(self):
+        rules = [
+            ImplicationRule(0, 1, hits=2, ones=2),   # strong pair
+            ImplicationRule(2, 3, hits=2, ones=4),   # weaker pair
+        ]
+        ones = [2, 2, 4, 10]
+        ranked = top_rules(rules, ones, n_rows=20, by="lift", limit=2)
+        assert ranked[0][0].pair == (0, 1)
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_limit(self):
+        rules = [
+            ImplicationRule(i, i + 1, hits=1, ones=1) for i in range(5)
+        ]
+        ones = [1] * 6
+        assert len(top_rules(rules, ones, 10, limit=3)) == 3
+
+    def test_undefined_measures_dropped(self):
+        rules = [ImplicationRule(0, 1, hits=3, ones=3)]
+        ones = [3, 5]
+        # conviction is undefined (no misses) -> dropped.
+        assert top_rules(rules, ones, 10, by="conviction") == []
+
+    def test_deterministic_tie_break(self):
+        rules = [
+            ImplicationRule(1, 2, hits=1, ones=1),
+            ImplicationRule(0, 2, hits=1, ones=1),
+        ]
+        ones = [1, 1, 2]
+        ranked = top_rules(rules, ones, 10, by="confidence")
+        assert [r.pair for r, _ in ranked] == [(0, 2), (1, 2)]

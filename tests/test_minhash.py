@@ -1,0 +1,100 @@
+"""Min-Hash similarity mining (repro.baselines.minhash)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import similarity_rules_bruteforce
+from repro.baselines.minhash import (
+    minhash_signatures,
+    minhash_similarity_rules,
+)
+from repro.datasets.synthetic import planted_similarity_matrix
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestSignatures:
+    def test_shape(self):
+        matrix = random_binary_matrix(1)
+        signatures = minhash_signatures(matrix, k=7)
+        assert signatures.shape == (7, matrix.n_columns)
+
+    def test_empty_column_is_infinite(self):
+        matrix = BinaryMatrix([[0]], n_columns=2)
+        signatures = minhash_signatures(matrix, k=3)
+        assert np.all(np.isinf(signatures[:, 1]))
+        assert np.all(np.isfinite(signatures[:, 0]))
+
+    def test_identical_columns_share_signatures(self):
+        matrix = BinaryMatrix([[0, 1], [0, 1], [2]], n_columns=3)
+        signatures = minhash_signatures(matrix, k=10)
+        assert np.array_equal(signatures[:, 0], signatures[:, 1])
+
+    def test_deterministic_per_seed(self):
+        matrix = random_binary_matrix(2)
+        a = minhash_signatures(matrix, k=5, seed=3)
+        b = minhash_signatures(matrix, k=5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_match_probability_estimates_similarity(self):
+        """Prob[h(c_i) == h(c_j)] == Sim(c_i, c_j) (paper Section 3.2),
+        checked statistically at k=600."""
+        matrix = BinaryMatrix(
+            [[0, 1]] * 3 + [[0]] * 2 + [[1]] * 1, n_columns=2
+        )
+        # Sim = 3 / 6 = 0.5
+        signatures = minhash_signatures(matrix, k=600, seed=0)
+        estimate = float(
+            np.mean(signatures[:, 0] == signatures[:, 1])
+        )
+        assert abs(estimate - 0.5) < 0.08
+
+
+class TestMining:
+    def test_no_false_positives_ever(self):
+        for seed in range(8):
+            matrix = random_binary_matrix(seed)
+            truth = similarity_rules_bruteforce(matrix, 0.5)
+            result = minhash_similarity_rules(
+                matrix, 0.5, k=30, seed=seed
+            )
+            assert result.rules.pairs() <= truth.pairs(), seed
+
+    def test_high_k_recovers_planted_pairs(self):
+        matrix = planted_similarity_matrix(
+            120, 20, groups=[([0, 1], 0.9), ([2, 3], 0.85)], seed=5
+        )
+        truth = similarity_rules_bruteforce(matrix, 0.8)
+        result = minhash_similarity_rules(matrix, 0.8, k=200, seed=1)
+        assert result.false_negatives(truth) == set()
+        assert {(0, 1), (2, 3)} <= result.rules.pairs()
+
+    def test_banding_mode(self):
+        matrix = planted_similarity_matrix(
+            100, 10, groups=[([0, 1], 0.95)], seed=2
+        )
+        result = minhash_similarity_rules(
+            matrix, 0.9, k=24, bands=12, seed=0
+        )
+        assert (0, 1) in result.rules.pairs()
+
+    def test_invalid_bands_rejected(self):
+        matrix = random_binary_matrix(0)
+        with pytest.raises(ValueError):
+            minhash_similarity_rules(matrix, 0.5, k=10, bands=11)
+
+    def test_rule_statistics_are_exact(self):
+        matrix = planted_similarity_matrix(
+            80, 8, groups=[([0, 1], 0.9)], seed=3
+        )
+        result = minhash_similarity_rules(matrix, 0.5, k=100)
+        sets = matrix.column_sets()
+        for rule in result.rules:
+            assert rule.intersection == len(
+                sets[rule.first] & sets[rule.second]
+            )
+
+    def test_candidates_checked_reported(self):
+        matrix = random_binary_matrix(5)
+        result = minhash_similarity_rules(matrix, 0.5, k=20)
+        assert result.candidates_checked >= len(result.rules)

@@ -1,0 +1,90 @@
+"""Packed-bitmap operations (repro.matrix.ops, Section 4.2)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matrix.ops import (
+    bitmaps_equal,
+    count_and,
+    count_and_not,
+    count_ones,
+    pack_rows,
+)
+
+
+def _pack(bits):
+    return np.packbits(np.array(bits, dtype=np.uint8))
+
+
+class TestCounting:
+    def test_count_ones(self):
+        assert count_ones(_pack([1, 0, 1, 1])) == 3
+
+    def test_count_and_not_is_misses(self):
+        a = _pack([1, 1, 0, 1])
+        b = _pack([1, 0, 0, 0])
+        assert count_and_not(a, b) == 2
+
+    def test_count_and_is_hits(self):
+        a = _pack([1, 1, 0, 1])
+        b = _pack([1, 0, 1, 1])
+        assert count_and(a, b) == 2
+
+    def test_bitmaps_equal(self):
+        assert bitmaps_equal(_pack([1, 0]), _pack([1, 0]))
+        assert not bitmaps_equal(_pack([1, 0]), _pack([0, 1]))
+
+    @given(
+        bits_a=st.lists(st.booleans(), min_size=1, max_size=100),
+        bits_b=st.lists(st.booleans(), min_size=1, max_size=100),
+    )
+    def test_counts_match_python_sets(self, bits_a, bits_b):
+        n = min(len(bits_a), len(bits_b))
+        bits_a, bits_b = bits_a[:n], bits_b[:n]
+        set_a = {i for i, bit in enumerate(bits_a) if bit}
+        set_b = {i for i, bit in enumerate(bits_b) if bit}
+        a, b = _pack(bits_a), _pack(bits_b)
+        assert count_ones(a) == len(set_a)
+        assert count_and(a, b) == len(set_a & set_b)
+        assert count_and_not(a, b) == len(set_a - set_b)
+
+
+class TestPackRows:
+    def test_bitmap_per_column(self):
+        rows = [(10, (0, 2)), (11, (2,)), (12, (0,))]
+        bitmaps = pack_rows(rows)
+        assert set(bitmaps.columns()) == {0, 2}
+        assert bitmaps.ones(0) == 2
+        assert bitmaps.ones(2) == 2
+        assert bitmaps.misses(0, 2) == 1
+        assert bitmaps.hits(0, 2) == 1
+
+    def test_absent_column_is_all_zero(self):
+        bitmaps = pack_rows([(0, (1,))])
+        assert bitmaps.ones(9) == 0
+        assert bitmaps.misses(1, 9) == 1
+        assert bitmaps.misses(9, 1) == 0
+
+    def test_column_filter(self):
+        bitmaps = pack_rows([(0, (1, 2, 3))], columns=[2])
+        assert set(bitmaps.columns()) == {2}
+
+    def test_identical(self):
+        bitmaps = pack_rows([(0, (1, 2)), (1, (1, 2)), (2, (3,))])
+        assert bitmaps.identical(1, 2)
+        assert not bitmaps.identical(1, 3)
+
+    def test_empty_window(self):
+        bitmaps = pack_rows([])
+        assert len(bitmaps) == 0
+        assert bitmaps.ones(0) == 0
+
+    def test_memory_bytes_counts_packed_size(self):
+        bitmaps = pack_rows([(r, (0,)) for r in range(16)])
+        assert bitmaps.memory_bytes() == 2  # 16 bits -> 2 bytes
+
+    def test_contains_and_len(self):
+        bitmaps = pack_rows([(0, (4, 5))])
+        assert 4 in bitmaps and 5 in bitmaps and 6 not in bitmaps
+        assert len(bitmaps) == 2

@@ -1,0 +1,200 @@
+"""Property-based tests of the paper's central claims (hypothesis).
+
+The headline property is exactness: DMC mines the same rule set as the
+brute-force oracle for *every* matrix, threshold, and optimization
+combination — no false positives, no false negatives.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.core.partitioned import (
+    find_implication_rules_partitioned,
+    find_similarity_rules_partitioned,
+)
+from repro.matrix.binary_matrix import BinaryMatrix
+
+# A compact matrix strategy: list of rows over a small column universe.
+matrices = st.builds(
+    lambda rows, m: BinaryMatrix(
+        [[c for c in row if c < m] for row in rows], n_columns=m
+    ),
+    rows=st.lists(
+        st.lists(st.integers(min_value=0, max_value=11), max_size=8),
+        max_size=24,
+    ),
+    m=st.integers(min_value=1, max_value=12),
+)
+
+thresholds = st.fractions(
+    min_value=Fraction(1, 10), max_value=Fraction(1), max_denominator=12
+)
+
+relaxed = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_implication_exactness(matrix, threshold):
+    """DMC-imp == oracle for any matrix and threshold."""
+    got = find_implication_rules(matrix, threshold).pairs()
+    want = implication_rules_bruteforce(matrix, threshold).pairs()
+    assert got == want
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_similarity_exactness(matrix, threshold):
+    """DMC-sim == oracle for any matrix and threshold."""
+    got = find_similarity_rules(matrix, threshold).pairs()
+    want = similarity_rules_bruteforce(matrix, threshold).pairs()
+    assert got == want
+
+
+@relaxed
+@given(
+    matrix=matrices,
+    threshold=thresholds,
+    switch_rows=st.integers(min_value=1, max_value=30),
+)
+def test_bitmap_switch_point_is_irrelevant(matrix, threshold, switch_rows):
+    """Forcing the DMC-bitmap switch anywhere never changes the rules."""
+    options = PruningOptions(
+        bitmap=BitmapConfig(switch_rows=switch_rows, memory_budget_bytes=0)
+    )
+    got = find_implication_rules(matrix, threshold, options=options).pairs()
+    want = implication_rules_bruteforce(matrix, threshold).pairs()
+    assert got == want
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds, seed=st.integers(0, 2**16))
+def test_row_permutation_invariance(matrix, threshold, seed):
+    """Mining is invariant under row permutation of the input."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(matrix.n_rows)
+    shuffled = matrix.select_rows([int(r) for r in permutation])
+    assert (
+        find_implication_rules(matrix, threshold).pairs()
+        == find_implication_rules(shuffled, threshold).pairs()
+    )
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_similarity_prunings_are_semantics_free(matrix, threshold):
+    """Density and max-hits pruning change cost, never results."""
+    baseline = find_similarity_rules(
+        matrix,
+        threshold,
+        options=PruningOptions(
+            density_pruning=False, max_hits_pruning=False
+        ),
+    ).pairs()
+    pruned = find_similarity_rules(matrix, threshold).pairs()
+    assert pruned == baseline
+
+
+@relaxed
+@given(
+    matrix=matrices,
+    low=thresholds,
+    high=thresholds,
+)
+def test_threshold_monotonicity(matrix, low, high):
+    """Raising the threshold can only shrink the rule set."""
+    if low > high:
+        low, high = high, low
+    low_rules = find_implication_rules(matrix, low).pairs()
+    high_rules = find_implication_rules(matrix, high).pairs()
+    assert high_rules <= low_rules
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_rule_confidences_clear_threshold(matrix, threshold):
+    """Every reported rule's exact confidence clears the threshold and
+    matches a recount from the raw matrix."""
+    sets = matrix.column_sets()
+    for rule in find_implication_rules(matrix, threshold):
+        assert rule.confidence >= threshold
+        assert rule.hits == len(
+            sets[rule.antecedent] & sets[rule.consequent]
+        )
+        assert rule.ones == len(sets[rule.antecedent])
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_similarity_symmetry_canonicalization(matrix, threshold):
+    """Reported pairs are canonically ordered and their similarity is
+    the true Jaccard value."""
+    sets = matrix.column_sets()
+    ones = matrix.column_ones()
+    for rule in find_similarity_rules(matrix, threshold):
+        assert (ones[rule.first], rule.first) < (
+            ones[rule.second],
+            rule.second,
+        )
+        union = sets[rule.first] | sets[rule.second]
+        assert rule.similarity == Fraction(
+            len(sets[rule.first] & sets[rule.second]), len(union)
+        )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    matrix=matrices,
+    threshold=thresholds,
+    n_partitions=st.integers(min_value=1, max_value=5),
+)
+def test_partitioned_equals_single_pass(matrix, threshold, n_partitions):
+    """The Section 7 divide-and-conquer variant is exact too."""
+    want = implication_rules_bruteforce(matrix, threshold).pairs()
+    got = find_implication_rules_partitioned(
+        matrix, threshold, n_partitions=n_partitions
+    ).pairs()
+    assert got == want
+    want_sim = similarity_rules_bruteforce(matrix, threshold).pairs()
+    got_sim = find_similarity_rules_partitioned(
+        matrix, threshold, n_partitions=n_partitions
+    ).pairs()
+    assert got_sim == want_sim
+
+
+@relaxed
+@given(matrix=matrices)
+def test_hundred_percent_rules_are_subset_relations(matrix):
+    """A 100% rule i => j holds iff S_i is a subset of S_j."""
+    sets = matrix.column_sets()
+    rules = find_implication_rules(matrix, 1)
+    for rule in rules:
+        assert sets[rule.antecedent] <= sets[rule.consequent]
+    # Completeness: every canonical non-empty subset pair is reported.
+    from repro.core.rules import canonical_before
+
+    ones = matrix.column_ones()
+    for i in range(matrix.n_columns):
+        if not sets[i]:
+            continue
+        for j in range(matrix.n_columns):
+            if i == j or not canonical_before(ones[i], i, ones[j], j):
+                continue
+            if sets[i] <= sets[j]:
+                assert (i, j) in rules.pairs()

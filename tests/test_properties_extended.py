@@ -1,0 +1,121 @@
+"""Extended property-based tests: streaming, top-k, export, query.
+
+Complements tests/test_properties.py (the core exactness properties)
+with invariants of the surrounding machinery.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.core.topk import top_k_implication_rules
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.matrix.stream import IterableSource, stream_implication_rules
+from repro.mining.export import (
+    rules_from_json,
+    rules_to_json,
+)
+from repro.mining.query import RuleQuery
+
+matrices = st.builds(
+    lambda rows, m: BinaryMatrix(
+        [[c for c in row if c < m] for row in rows], n_columns=m
+    ),
+    rows=st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=6),
+        max_size=18,
+    ),
+    m=st.integers(min_value=1, max_value=10),
+)
+
+thresholds = st.fractions(
+    min_value=Fraction(1, 8), max_value=Fraction(1), max_denominator=8
+)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_streaming_equals_oracle(matrix, threshold):
+    """The two-pass streaming pipeline is exact for any input."""
+    source = IterableSource(
+        [row for _, row in matrix.iter_rows()],
+        columns=matrix.n_columns,
+    )
+    got = stream_implication_rules(source, threshold).pairs()
+    want = implication_rules_bruteforce(matrix, threshold).pairs()
+    assert got == want
+
+
+@relaxed
+@given(matrix=matrices, k=st.integers(min_value=1, max_value=8))
+def test_topk_returns_the_k_strongest(matrix, k):
+    """Top-k output == the k strongest oracle rules (ties included)."""
+    rules, cut = top_k_implication_rules(
+        matrix, k, floor_threshold=Fraction(1, 100)
+    )
+    truth = implication_rules_bruteforce(matrix, Fraction(1, 100))
+    if len(truth) == 0:
+        assert cut is None and len(rules) == 0
+        return
+    strengths = sorted(
+        (rule.confidence for rule in truth), reverse=True
+    )
+    expected_cut = strengths[min(k, len(strengths)) - 1]
+    assert cut == expected_cut
+    assert rules.pairs() == {
+        rule.pair for rule in truth if rule.confidence >= expected_cut
+    }
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_json_round_trip_is_lossless(matrix, threshold):
+    rules = implication_rules_bruteforce(matrix, threshold)
+    assert rules_from_json(rules_to_json(rules)) == rules
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds, cut=thresholds)
+def test_query_at_least_equals_remining(matrix, threshold, cut):
+    """Filtering mined rules at a higher threshold equals mining at
+    that threshold directly."""
+    if cut < threshold:
+        threshold, cut = cut, threshold
+    mined = implication_rules_bruteforce(matrix, threshold)
+    filtered = RuleQuery(mined).at_least(cut).to_rule_set()
+    direct = implication_rules_bruteforce(matrix, cut)
+    assert filtered.pairs() == direct.pairs()
+
+
+@relaxed
+@given(matrix=matrices, threshold=thresholds)
+def test_query_partitions_by_threshold(matrix, threshold):
+    """at_least(t) and below(t) partition the rule set."""
+    mined = implication_rules_bruteforce(matrix, Fraction(1, 8))
+    upper = RuleQuery(mined).at_least(threshold).count()
+    lower = RuleQuery(mined).below(threshold).count()
+    assert upper + lower == len(mined)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_quest_generator_mines_exactly(seed):
+    """DMC stays exact on Quest-style correlated workloads."""
+    from repro.core.dmc_imp import find_implication_rules
+    from repro.datasets.quest import generate_quest
+
+    matrix = generate_quest(
+        n_transactions=60, n_items=25, n_patterns=5, seed=seed
+    )
+    got = find_implication_rules(matrix, Fraction(3, 4)).pairs()
+    want = implication_rules_bruteforce(matrix, Fraction(3, 4)).pairs()
+    assert got == want

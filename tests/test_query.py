@@ -1,0 +1,105 @@
+"""Rule querying (repro.mining.query)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.matrix.binary_matrix import Vocabulary
+from repro.mining.query import RuleQuery
+
+
+@pytest.fixture
+def rules():
+    return RuleSet(
+        [
+            ImplicationRule(0, 1, hits=10, ones=10),   # conf 1
+            ImplicationRule(0, 2, hits=9, ones=10),    # conf 0.9
+            ImplicationRule(3, 1, hits=6, ones=10),    # conf 0.6
+            ImplicationRule(2, 4, hits=8, ones=10),    # conf 0.8
+        ]
+    )
+
+
+@pytest.fixture
+def vocabulary():
+    return Vocabulary(["polgar", "chess", "judit", "soviet", "game"])
+
+
+class TestFilters:
+    def test_involving(self, rules):
+        assert RuleQuery(rules).involving(1).count() == 2
+
+    def test_from_antecedent(self, rules):
+        pairs = {
+            rule.pair
+            for rule in RuleQuery(rules).from_antecedent(0)
+        }
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_to_consequent(self, rules):
+        pairs = {
+            rule.pair for rule in RuleQuery(rules).to_consequent(1)
+        }
+        assert pairs == {(0, 1), (3, 1)}
+
+    def test_at_least(self, rules):
+        assert RuleQuery(rules).at_least(0.8).count() == 3
+
+    def test_below(self, rules):
+        assert RuleQuery(rules).below(0.8).count() == 1
+
+    def test_exact_only(self, rules):
+        exact = list(RuleQuery(rules).exact_only())
+        assert [rule.pair for rule in exact] == [(0, 1)]
+
+    def test_chaining_intersects(self, rules):
+        query = RuleQuery(rules).involving(0).at_least(0.95)
+        assert {rule.pair for rule in query} == {(0, 1)}
+
+    def test_where_arbitrary_predicate(self, rules):
+        query = RuleQuery(rules).where(lambda rule: rule.hits == 9)
+        assert [rule.pair for rule in query] == [(0, 2)]
+
+    def test_chaining_does_not_mutate_parent(self, rules):
+        base = RuleQuery(rules)
+        base.at_least(0.99)
+        assert base.count() == 4
+
+
+class TestLabels:
+    def test_label_resolution(self, rules, vocabulary):
+        query = RuleQuery(rules, vocabulary).from_antecedent("polgar")
+        assert query.count() == 2
+
+    def test_label_matches(self, rules, vocabulary):
+        query = RuleQuery(rules, vocabulary).label_matches(
+            lambda label: label.startswith("j")
+        )
+        assert {rule.pair for rule in query} == {(0, 2), (2, 4)}
+
+    def test_label_without_vocabulary_rejected(self, rules):
+        with pytest.raises(ValueError):
+            RuleQuery(rules).from_antecedent("polgar")
+        with pytest.raises(ValueError):
+            RuleQuery(rules).label_matches(lambda label: True)
+
+
+class TestMaterialization:
+    def test_to_rule_set(self, rules):
+        narrowed = RuleQuery(rules).at_least(0.9).to_rule_set()
+        assert narrowed.pairs() == {(0, 1), (0, 2)}
+
+    def test_strongest_orders_by_strength(self, rules):
+        strongest = RuleQuery(rules).strongest(limit=2)
+        assert [rule.pair for rule in strongest] == [(0, 1), (0, 2)]
+
+    def test_works_with_similarity_rules(self):
+        rules = RuleSet(
+            [
+                SimilarityRule(0, 1, intersection=3, union=4),
+                SimilarityRule(1, 2, intersection=1, union=4),
+            ]
+        )
+        query = RuleQuery(rules).at_least(Fraction(1, 2))
+        assert [rule.pair for rule in query] == [(0, 1)]

@@ -1,0 +1,78 @@
+"""The IBM Quest-style generator (repro.datasets.quest)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import apriori_frequent_itemsets
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.core.dmc_imp import find_implication_rules
+from repro.datasets.quest import generate_quest, quest_t10i4
+
+
+class TestGeneration:
+    def test_shape(self):
+        matrix = generate_quest(
+            n_transactions=300, n_items=100, seed=0
+        )
+        assert matrix.n_rows == 300
+        assert matrix.n_columns == 100
+
+    def test_deterministic(self):
+        a = generate_quest(n_transactions=100, n_items=50, seed=3)
+        b = generate_quest(n_transactions=100, n_items=50, seed=3)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = generate_quest(n_transactions=100, n_items=50, seed=1)
+        b = generate_quest(n_transactions=100, n_items=50, seed=2)
+        assert a != b
+
+    def test_average_transaction_size_near_target(self):
+        matrix = generate_quest(
+            n_transactions=800,
+            avg_transaction_size=10.0,
+            n_items=400,
+            seed=4,
+        )
+        mean_density = float(np.mean(matrix.row_densities()))
+        assert 5 < mean_density < 16
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quest(n_transactions=0)
+        with pytest.raises(ValueError):
+            generate_quest(n_items=0)
+        with pytest.raises(ValueError):
+            generate_quest(n_patterns=0)
+
+    def test_t10i4_preset(self):
+        matrix = quest_t10i4(n_transactions=200, n_items=100, seed=5)
+        assert matrix.n_rows == 200
+        assert matrix.n_columns == 100
+
+
+class TestMiningOnQuest:
+    def test_patterns_yield_frequent_itemsets(self):
+        matrix = generate_quest(
+            n_transactions=600,
+            n_items=120,
+            n_patterns=8,
+            corruption=0.1,
+            seed=6,
+        )
+        supports = apriori_frequent_itemsets(
+            matrix, minsup_count=30, max_size=2
+        )
+        pairs = [itemset for itemset in supports if len(itemset) == 2]
+        assert pairs  # the planted patterns co-occur
+
+    def test_dmc_exact_on_quest(self):
+        matrix = generate_quest(
+            n_transactions=250, n_items=60, seed=7
+        )
+        for threshold in (0.9, 0.7):
+            got = find_implication_rules(matrix, threshold).pairs()
+            want = implication_rules_bruteforce(
+                matrix, threshold
+            ).pairs()
+            assert got == want

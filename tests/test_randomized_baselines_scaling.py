@@ -1,0 +1,91 @@
+"""Cross-cutting behaviour of the randomized baselines.
+
+The paper's Figure 6(i) rule — "plot K-Min where false negatives stay
+under 10%" — presumes recall improves with sketch size.  These tests
+pin that monotone behaviour (with fixed seeds) for every randomized
+comparator, plus the shared guarantee that verification makes false
+positives impossible at any parameter setting.
+"""
+
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.baselines.kmin import kmin_implication_rules
+from repro.baselines.minhash import minhash_similarity_rules
+from repro.baselines.sampling import sampled_implication_rules
+from repro.datasets.synthetic import (
+    planted_rule_matrix,
+    planted_similarity_matrix,
+)
+
+
+class TestRecallImprovesWithBudget:
+    def test_kmin_recall_monotone_in_k(self):
+        matrix = planted_rule_matrix(
+            300, 15,
+            rules=[(0, 1, 0.9), (2, 3, 0.88), (4, 5, 0.92)],
+            antecedent_ones=40, seed=2,
+        )
+        truth = implication_rules_bruteforce(matrix, 0.85)
+        rates = []
+        for k in (4, 16, 64):
+            result = kmin_implication_rules(matrix, 0.85, k=k, seed=0)
+            rates.append(result.false_negative_rate(truth))
+        assert rates[0] >= rates[-1]
+        assert rates[-1] <= 0.1
+
+    def test_minhash_recall_monotone_in_k(self):
+        matrix = planted_similarity_matrix(
+            200, 16,
+            groups=[([0, 1], 0.85), ([2, 3], 0.82), ([4, 5], 0.9)],
+            seed=3,
+        )
+        truth = similarity_rules_bruteforce(matrix, 0.8)
+        misses = []
+        for k in (8, 64, 256):
+            result = minhash_similarity_rules(
+                matrix, 0.8, k=k, seed=1
+            )
+            misses.append(len(result.false_negatives(truth)))
+        assert misses[0] >= misses[-1]
+        assert misses[-1] == 0
+
+    def test_sampling_recall_monotone_in_fraction(self):
+        matrix = planted_rule_matrix(
+            400, 12, rules=[(0, 1, 0.9)], antecedent_ones=50, seed=4
+        )
+        truth = implication_rules_bruteforce(matrix, 0.85)
+        misses = []
+        for fraction in (0.1, 0.5, 1.0):
+            result = sampled_implication_rules(
+                matrix, 0.85, sample_fraction=fraction, margin=0.05,
+                seed=5,
+            )
+            misses.append(len(result.false_negatives(truth)))
+        assert misses[0] >= misses[-1]
+
+
+class TestNoFalsePositivesAtAnySetting:
+    def test_all_baselines_verified(self):
+        matrix = planted_rule_matrix(
+            150, 10, rules=[(0, 1, 0.9)], seed=6
+        )
+        truth_imp = implication_rules_bruteforce(matrix, 0.8)
+        truth_sim = similarity_rules_bruteforce(matrix, 0.5)
+        for k in (2, 8):
+            assert (
+                kmin_implication_rules(matrix, 0.8, k=k).rules.pairs()
+                <= truth_imp.pairs()
+            )
+            assert (
+                minhash_similarity_rules(matrix, 0.5, k=k).rules.pairs()
+                <= truth_sim.pairs()
+            )
+        for fraction in (0.05, 0.5):
+            assert (
+                sampled_implication_rules(
+                    matrix, 0.8, sample_fraction=fraction
+                ).rules.pairs()
+                <= truth_imp.pairs()
+            )

@@ -1,0 +1,31 @@
+"""The README's code blocks must actually run."""
+
+import os
+import re
+
+README = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "README.md",
+)
+
+
+def _python_blocks():
+    text = open(README, encoding="utf-8").read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_examples():
+    assert len(_python_blocks()) >= 1
+
+
+def test_readme_python_blocks_execute():
+    for block in _python_blocks():
+        namespace = {}
+        exec(compile(block, README, "exec"), namespace)  # noqa: S102
+
+
+def test_readme_mentions_all_cli_commands():
+    text = open(README, encoding="utf-8").read()
+    for command in ("check", "report", "mine-imp", "mine-topk",
+                    "generate"):
+        assert command in text

@@ -1,0 +1,63 @@
+"""Markdown report generation (repro.experiments.report)."""
+
+import pytest
+
+from repro.experiments.harness import EXPERIMENTS
+from repro.experiments.report import PAPER_NOTES, write_report
+
+
+class TestWriteReport:
+    def test_writes_selected_experiments(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        count = write_report(
+            path, scale=0.2, experiment_ids=["table1", "fig4"]
+        )
+        assert count == 2
+        text = open(path, encoding="utf-8").read()
+        assert "## table1" in text
+        assert "## fig4" in text
+        assert "## fig7" not in text
+
+    def test_header_records_provenance(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        write_report(path, scale=0.2, seed=7, experiment_ids=["table1"])
+        text = open(path, encoding="utf-8").read()
+        assert "scale 0.2" in text
+        assert "seed 7" in text
+
+    def test_paper_notes_included(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        write_report(path, scale=0.2, experiment_ids=["table1"])
+        text = open(path, encoding="utf-8").read()
+        assert "Paper sizes range" in text
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_report(
+                str(tmp_path / "x.md"), experiment_ids=["nope"]
+            )
+
+    def test_every_experiment_has_a_paper_note(self):
+        assert set(PAPER_NOTES) == set(EXPERIMENTS)
+
+
+class TestReportCli:
+    def test_report_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = str(tmp_path / "r.md")
+        code = main(
+            ["report", "--out", out, "--scale", "0.2",
+             "--only", "table1"]
+        )
+        assert code == 0
+        assert "wrote 1 experiments" in capsys.readouterr().out
+
+    def test_report_command_unknown_id(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["report", "--out", str(tmp_path / "r.md"),
+             "--only", "bogus"]
+        )
+        assert code == 2

@@ -1,0 +1,131 @@
+"""Rule value types and RuleSet semantics (repro.core.rules)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rules import (
+    ImplicationRule,
+    RuleSet,
+    SimilarityRule,
+    canonical_before,
+)
+from repro.matrix.binary_matrix import Vocabulary
+
+
+class TestCanonicalBefore:
+    def test_fewer_ones_comes_first(self):
+        assert canonical_before(3, 9, 5, 1)
+
+    def test_more_ones_comes_later(self):
+        assert not canonical_before(5, 1, 3, 9)
+
+    def test_tie_broken_by_column_id(self):
+        assert canonical_before(4, 1, 4, 2)
+        assert not canonical_before(4, 2, 4, 1)
+
+    def test_self_is_not_before_itself(self):
+        assert not canonical_before(4, 1, 4, 1)
+
+
+class TestImplicationRule:
+    def test_confidence_is_exact_fraction(self):
+        rule = ImplicationRule(0, 1, hits=17, ones=20)
+        assert rule.confidence == Fraction(17, 20)
+
+    def test_misses(self):
+        rule = ImplicationRule(0, 1, hits=17, ones=20)
+        assert rule.misses == 3
+
+    def test_pair(self):
+        assert ImplicationRule(3, 7, 4, 5).pair == (3, 7)
+
+    def test_format_without_vocabulary(self):
+        assert ImplicationRule(0, 1, 1, 1).format() == "c0 -> c1 (1.000)"
+
+    def test_format_with_vocabulary(self):
+        vocabulary = Vocabulary(["polgar", "chess"])
+        rule = ImplicationRule(0, 1, hits=9, ones=10)
+        assert rule.format(vocabulary) == "polgar -> chess (0.900)"
+
+    def test_frozen(self):
+        rule = ImplicationRule(0, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            rule.hits = 2
+
+    def test_equality_and_hash(self):
+        a = ImplicationRule(0, 1, 4, 5)
+        b = ImplicationRule(0, 1, 4, 5)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSimilarityRule:
+    def test_similarity_is_exact_fraction(self):
+        rule = SimilarityRule(2, 5, intersection=3, union=4)
+        assert rule.similarity == Fraction(3, 4)
+
+    def test_pair(self):
+        assert SimilarityRule(2, 5, 3, 4).pair == (2, 5)
+
+    def test_format_with_vocabulary(self):
+        vocabulary = Vocabulary(["a", "b", "big", "large"])
+        rule = SimilarityRule(2, 3, intersection=1, union=2)
+        assert rule.format(vocabulary) == "big ~ large (0.500)"
+
+    def test_ordering_is_deterministic(self):
+        rules = [SimilarityRule(1, 2, 1, 2), SimilarityRule(0, 3, 1, 2)]
+        assert sorted(rules)[0].first == 0
+
+
+class TestRuleSet:
+    def test_add_and_len(self):
+        rules = RuleSet()
+        rules.add(ImplicationRule(0, 1, 4, 5))
+        assert len(rules) == 1
+
+    def test_duplicate_identical_is_ignored(self):
+        rules = RuleSet()
+        rules.add(ImplicationRule(0, 1, 4, 5))
+        rules.add(ImplicationRule(0, 1, 4, 5))
+        assert len(rules) == 1
+
+    def test_conflicting_duplicate_raises(self):
+        rules = RuleSet([ImplicationRule(0, 1, 4, 5)])
+        with pytest.raises(ValueError):
+            rules.add(ImplicationRule(0, 1, 3, 5))
+
+    def test_pairs(self):
+        rules = RuleSet([ImplicationRule(0, 1, 4, 5)])
+        assert rules.pairs() == {(0, 1)}
+
+    def test_contains_and_getitem(self):
+        rule = ImplicationRule(0, 1, 4, 5)
+        rules = RuleSet([rule])
+        assert (0, 1) in rules
+        assert rules[(0, 1)] is rule
+
+    def test_sorted_is_stable_by_pair(self):
+        rules = RuleSet(
+            [
+                ImplicationRule(2, 3, 1, 1),
+                ImplicationRule(0, 9, 1, 1),
+                ImplicationRule(0, 1, 1, 1),
+            ]
+        )
+        assert [r.pair for r in rules.sorted()] == [
+            (0, 1), (0, 9), (2, 3),
+        ]
+
+    def test_update(self):
+        rules = RuleSet()
+        rules.update([ImplicationRule(0, 1, 1, 1), ImplicationRule(1, 2, 1, 1)])
+        assert len(rules) == 2
+
+    def test_equality(self):
+        a = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        b = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        assert a == b
+
+    def test_iter(self):
+        rules = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        assert [r.pair for r in rules] == [(0, 1)]

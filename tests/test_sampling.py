@@ -1,0 +1,81 @@
+"""The Toivonen-style sampling baseline (repro.baselines.sampling)."""
+
+import pytest
+
+from repro.baselines.bruteforce import implication_rules_bruteforce
+from repro.baselines.sampling import sampled_implication_rules
+from repro.datasets.synthetic import planted_rule_matrix
+from tests.conftest import random_binary_matrix
+
+
+class TestSampling:
+    def test_no_false_positives_ever(self):
+        for seed in range(8):
+            matrix = random_binary_matrix(seed)
+            truth = implication_rules_bruteforce(matrix, 0.7)
+            result = sampled_implication_rules(
+                matrix, 0.7, sample_fraction=0.5, seed=seed
+            )
+            assert result.rules.pairs() <= truth.pairs(), seed
+
+    def test_full_sample_zero_margin_is_exact(self):
+        for seed in range(6):
+            matrix = random_binary_matrix(seed)
+            truth = implication_rules_bruteforce(matrix, 0.75)
+            result = sampled_implication_rules(
+                matrix, 0.75, sample_fraction=1.0, margin=0.0, seed=seed
+            )
+            assert result.rules.pairs() == truth.pairs(), seed
+
+    def test_planted_rules_survive_sampling(self):
+        matrix = planted_rule_matrix(
+            400, 10, rules=[(0, 1, 0.95)], antecedent_ones=60, seed=9
+        )
+        truth = implication_rules_bruteforce(matrix, 0.85)
+        result = sampled_implication_rules(
+            matrix, 0.85, sample_fraction=0.5, margin=0.15, seed=1
+        )
+        assert (0, 1) in result.rules.pairs()
+        assert (0, 1) in truth.pairs()
+
+    def test_statistics_are_global_not_sampled(self):
+        matrix = random_binary_matrix(12)
+        result = sampled_implication_rules(
+            matrix, 0.6, sample_fraction=0.5, seed=0
+        )
+        sets = matrix.column_sets()
+        for rule in result.rules:
+            assert rule.ones == len(sets[rule.antecedent])
+            assert rule.hits == len(
+                sets[rule.antecedent] & sets[rule.consequent]
+            )
+
+    def test_diagnostics(self):
+        matrix = random_binary_matrix(2)
+        result = sampled_implication_rules(
+            matrix, 0.7, sample_fraction=0.25, seed=0
+        )
+        assert result.sample_rows == max(
+            1, round(0.25 * matrix.n_rows)
+        )
+        assert result.candidates_checked >= len(result.rules)
+
+    def test_invalid_fraction_rejected(self):
+        matrix = random_binary_matrix(0)
+        with pytest.raises(ValueError):
+            sampled_implication_rules(matrix, 0.5, sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            sampled_implication_rules(matrix, 0.5, sample_fraction=1.5)
+
+    def test_larger_margin_never_hurts_recall(self):
+        matrix = random_binary_matrix(20)
+        truth = implication_rules_bruteforce(matrix, 0.7)
+        small = sampled_implication_rules(
+            matrix, 0.7, sample_fraction=0.5, margin=0.0, seed=3
+        )
+        large = sampled_implication_rules(
+            matrix, 0.7, sample_fraction=0.5, margin=0.3, seed=3
+        )
+        assert len(large.false_negatives(truth)) <= len(
+            small.false_negatives(truth)
+        )

@@ -1,0 +1,176 @@
+"""Two-pass streaming pipelines (repro.matrix.stream)."""
+
+import os
+
+import pytest
+
+from repro.core.dmc_imp import find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.matrix.io import save_transactions
+from repro.matrix.stream import (
+    BucketSpill,
+    FileSource,
+    IterableSource,
+    MatrixSource,
+    TransactionSource,
+    stream_implication_rules,
+    stream_similarity_rules,
+)
+from tests.conftest import random_binary_matrix
+
+
+class TestSources:
+    def test_base_source_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(TransactionSource().iter_rows())
+
+    def test_matrix_source_round_trip(self):
+        matrix = BinaryMatrix([[0, 2], [1]], n_columns=3)
+        source = MatrixSource(matrix)
+        assert list(source.iter_rows()) == [(0, 2), (1,)]
+        assert source.n_columns() == 3
+
+    def test_iterable_source_normalizes_rows(self):
+        source = IterableSource([[3, 1, 3], []], columns=5)
+        assert list(source.iter_rows()) == [(1, 3), ()]
+        assert source.n_columns() == 5
+
+    def test_iterable_source_is_repeatable(self):
+        source = IterableSource([[0], [1]])
+        assert list(source.iter_rows()) == list(source.iter_rows())
+
+    def test_file_source_reads_io_format(self, tmp_path):
+        matrix = BinaryMatrix([[0, 3], [], [1]], n_columns=5)
+        path = str(tmp_path / "data.txt")
+        save_transactions(matrix, path)
+        source = FileSource(path)
+        rows = list(source.iter_rows())
+        assert rows == [(0, 3), (), (1,)]
+        assert source.n_columns() == 5  # from the #columns header
+
+
+class TestBucketSpill:
+    def test_rows_grouped_and_replayed_sparsest_first(self, tmp_path):
+        with BucketSpill(directory=str(tmp_path)) as spill:
+            spill.add((0, 1, 2, 3))
+            spill.add((5,))
+            spill.add((1, 2))
+            assert spill.rows_spilled == 3
+            replayed = list(spill.read_sparsest_first())
+        assert replayed == [(5,), (1, 2), (0, 1, 2, 3)]
+
+    def test_empty_rows_not_spilled(self, tmp_path):
+        with BucketSpill(directory=str(tmp_path)) as spill:
+            spill.add(())
+            assert spill.rows_spilled == 0
+
+    def test_bucket_count_is_logarithmic(self, tmp_path):
+        with BucketSpill(directory=str(tmp_path)) as spill:
+            spill.add(tuple(range(100)))
+            spill.add((0,))
+            assert spill.n_buckets == 7  # bucket_index(100) == 6
+
+    def test_files_removed_on_close(self, tmp_path):
+        spill = BucketSpill(directory=str(tmp_path))
+        spill.add((1, 2))
+        directory = spill._directory
+        spill.close()
+        assert not os.path.exists(directory)
+
+
+class TestStreamingEquivalence:
+    def test_implication_equals_in_memory(self):
+        for seed in range(12):
+            matrix = random_binary_matrix(seed)
+            for threshold in (1.0, 0.8, 0.5):
+                got = stream_implication_rules(
+                    MatrixSource(matrix), threshold
+                ).pairs()
+                want = find_implication_rules(matrix, threshold).pairs()
+                assert got == want, (seed, threshold)
+
+    def test_similarity_equals_in_memory(self):
+        for seed in range(12):
+            matrix = random_binary_matrix(seed)
+            for threshold in (1.0, 0.66):
+                got = stream_similarity_rules(
+                    MatrixSource(matrix), threshold
+                ).pairs()
+                want = find_similarity_rules(matrix, threshold).pairs()
+                assert got == want, (seed, threshold)
+
+    def test_from_file_source(self, tmp_path):
+        matrix = random_binary_matrix(5)
+        path = str(tmp_path / "data.txt")
+        save_transactions(matrix, path)
+        got = stream_implication_rules(FileSource(path), 0.75).pairs()
+        want = find_implication_rules(matrix, 0.75).pairs()
+        assert got == want
+
+    def test_with_bitmap_switch(self):
+        matrix = random_binary_matrix(9)
+        config = BitmapConfig(switch_rows=5, memory_budget_bytes=0)
+        got = stream_implication_rules(
+            MatrixSource(matrix), 0.7, bitmap=config
+        ).pairs()
+        want = find_implication_rules(matrix, 0.7).pairs()
+        assert got == want
+
+    def test_spill_dir_honored_and_cleaned(self, tmp_path):
+        matrix = random_binary_matrix(1)
+        stream_implication_rules(
+            MatrixSource(matrix), 0.9, spill_dir=str(tmp_path)
+        )
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_rules_carry_exact_statistics(self):
+        matrix = random_binary_matrix(7)
+        sets = matrix.column_sets()
+        for rule in stream_implication_rules(MatrixSource(matrix), 0.6):
+            assert rule.hits == len(
+                sets[rule.antecedent] & sets[rule.consequent]
+            )
+
+
+class TestStreamEdgeCases:
+    def test_zero_miss_scan_rows_direct(self):
+        from repro.core.miss_counting import zero_miss_scan_rows
+        from repro.core.policies import HundredPercentPolicy
+
+        rows = [(0, (0, 1)), (1, (0, 1))]
+        policy = HundredPercentPolicy([2, 2])
+        rules = zero_miss_scan_rows(iter(rows), 2, policy)
+        assert rules.pairs() == {(0, 1)}
+
+    def test_file_source_rejects_labelled_files(self, tmp_path):
+        from repro.matrix.binary_matrix import BinaryMatrix
+
+        matrix = BinaryMatrix.from_transactions([["a", "b"]])
+        path = str(tmp_path / "labelled.txt")
+        save_transactions(matrix, path)
+        with pytest.raises(ValueError):
+            list(FileSource(path).iter_rows())
+
+    def test_spill_close_is_idempotent(self, tmp_path):
+        spill = BucketSpill(directory=str(tmp_path))
+        spill.add((0, 1))
+        spill.close()
+        spill.close()  # second close must not raise
+
+    def test_empty_source_mines_nothing(self):
+        rules = stream_implication_rules(IterableSource([]), 0.9)
+        assert len(rules) == 0
+
+    def test_source_with_only_empty_rows(self):
+        rules = stream_implication_rules(
+            IterableSource([[], []], columns=3), 0.9
+        )
+        assert len(rules) == 0
+
+    def test_first_scan_grows_column_space(self):
+        # Column ids beyond the declared universe extend the counts.
+        source = IterableSource([[0], [7]], columns=2)
+        rules = stream_implication_rules(source, 1)
+        assert len(rules) == 0  # no co-occurrence, but no crash either

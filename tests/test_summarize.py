@@ -1,0 +1,107 @@
+"""Rule-set summaries (repro.mining.summarize)."""
+
+from fractions import Fraction
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.matrix.binary_matrix import Vocabulary
+from repro.mining.summarize import summarize_rules
+
+
+def _rules():
+    return RuleSet(
+        [
+            ImplicationRule(0, 1, hits=10, ones=10),  # 1.0
+            ImplicationRule(0, 2, hits=19, ones=20),  # 0.95
+            ImplicationRule(3, 1, hits=9, ones=10),   # 0.9
+            ImplicationRule(4, 1, hits=3, ones=4),    # 0.75
+            ImplicationRule(5, 0, hits=1, ones=2),    # 0.5
+        ]
+    )
+
+
+class TestSummarizeImplication:
+    def test_counts(self):
+        summary = summarize_rules(_rules())
+        assert summary.n_rules == 5
+        assert summary.n_exact == 1
+
+    def test_band_histogram(self):
+        summary = summarize_rules(_rules())
+        assert summary.band_counts["= 1"] == 1
+        assert summary.band_counts[">= 0.95"] == 1
+        assert summary.band_counts[">= 0.90"] == 1
+        assert summary.band_counts[">= 0.70"] == 1
+        assert summary.band_counts["< 0.70"] == 1
+
+    def test_band_total_matches_rule_count(self):
+        summary = summarize_rules(_rules())
+        assert sum(summary.band_counts.values()) == summary.n_rules
+
+    def test_strength_range(self):
+        summary = summarize_rules(_rules())
+        assert summary.strength_min == Fraction(1, 2)
+        assert summary.strength_max == 1
+
+    def test_hubs(self):
+        summary = summarize_rules(_rules())
+        assert summary.top_antecedents[0] == (0, 2)
+        assert summary.top_consequents[0] == (1, 3)
+
+    def test_render_with_labels(self):
+        vocabulary = Vocabulary(["a", "b", "c", "d", "e", "f"])
+        text = summarize_rules(_rules(), vocabulary).render()
+        assert "5 rules" in text
+        assert "a (2)" in text   # top antecedent by label
+        assert "b (3)" in text   # top consequent by label
+
+    def test_empty_rule_set(self):
+        summary = summarize_rules(RuleSet())
+        assert summary.n_rules == 0
+        assert summary.strength_min is None
+        assert "0 rules" in summary.render()
+
+
+class TestSummarizeSimilarity:
+    def test_pairs_count_both_sides(self):
+        rules = RuleSet(
+            [
+                SimilarityRule(0, 1, intersection=4, union=4),
+                SimilarityRule(1, 2, intersection=3, union=4),
+            ]
+        )
+        summary = summarize_rules(rules)
+        assert summary.n_exact == 1
+        # Column 1 appears in both pairs.
+        assert summary.top_antecedents[0] == (1, 2)
+        assert summary.top_consequents == []
+
+
+class TestCliSummary:
+    def test_mine_imp_summary(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.matrix.binary_matrix import BinaryMatrix
+        from repro.matrix.io import save_transactions
+
+        matrix = BinaryMatrix.from_transactions(
+            [["a", "b"], ["a", "b"], ["b", "c"]]
+        )
+        path = str(tmp_path / "d.txt")
+        save_transactions(matrix, path)
+        assert main(["mine-imp", path, "--minconf", "0.5",
+                     "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "summary of" in out
+        assert "rules" in out
+
+    def test_mine_topk(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.matrix.binary_matrix import BinaryMatrix
+        from repro.matrix.io import save_transactions
+
+        matrix = BinaryMatrix.from_transactions(
+            [["a", "b"], ["a", "b"], ["b"]]
+        )
+        path = str(tmp_path / "d.txt")
+        save_transactions(matrix, path)
+        assert main(["mine-topk", path, "-k", "1"]) == 0
+        assert "strongest rules" in capsys.readouterr().out

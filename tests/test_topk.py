@@ -1,0 +1,85 @@
+"""Top-k mining (repro.core.topk)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.bruteforce import (
+    implication_rules_bruteforce,
+    similarity_rules_bruteforce,
+)
+from repro.core.topk import (
+    top_k_implication_rules,
+    top_k_similarity_rules,
+)
+from repro.matrix.binary_matrix import BinaryMatrix
+from tests.conftest import random_binary_matrix
+
+
+class TestTopKImplication:
+    def test_returns_k_strongest(self):
+        matrix = random_binary_matrix(10)
+        rules, cut = top_k_implication_rules(matrix, k=5)
+        truth = implication_rules_bruteforce(matrix, Fraction(1, 100))
+        strongest = sorted(
+            (rule.confidence for rule in truth), reverse=True
+        )
+        assert cut == strongest[min(5, len(strongest)) - 1]
+        assert all(rule.confidence >= cut for rule in rules)
+        assert len(rules) >= min(5, len(strongest))
+
+    def test_ties_at_cut_included(self):
+        # Two identical-strength rules; k=1 keeps both.
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [2, 3], [2, 3], [4]], n_columns=5
+        )
+        rules, cut = top_k_implication_rules(matrix, k=1)
+        assert cut == 1
+        assert {(0, 1), (2, 3)} <= rules.pairs()
+
+    def test_floor_lowered_when_needed(self):
+        # Rules exist only below the default floor 1/2.
+        rows = [[0, 1]] + [[0]] * 2 + [[1]] * 5
+        matrix = BinaryMatrix(rows, n_columns=2)
+        rules, cut = top_k_implication_rules(
+            matrix, k=1, floor_threshold=Fraction(9, 10)
+        )
+        assert cut == Fraction(1, 3)
+        assert rules.pairs() == {(0, 1)}
+
+    def test_empty_matrix(self):
+        matrix = BinaryMatrix([[0], [1]], n_columns=2)
+        rules, cut = top_k_implication_rules(matrix, k=3)
+        assert len(rules) == 0
+        assert cut is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_implication_rules(random_binary_matrix(0), k=0)
+
+
+class TestTopKSimilarity:
+    def test_returns_k_most_similar(self):
+        matrix = random_binary_matrix(11)
+        rules, cut = top_k_similarity_rules(
+            matrix, k=3, floor_threshold=Fraction(1, 10)
+        )
+        truth = similarity_rules_bruteforce(matrix, Fraction(1, 10))
+        strongest = sorted(
+            (rule.similarity for rule in truth), reverse=True
+        )
+        if strongest:
+            assert cut == strongest[min(3, len(strongest)) - 1]
+            assert all(rule.similarity >= cut for rule in rules)
+
+    def test_identical_pair_ranks_first(self):
+        matrix = BinaryMatrix(
+            [[0, 1], [0, 1], [2], [2]], n_columns=3
+        )
+        rules, cut = top_k_similarity_rules(matrix, k=1)
+        assert cut == 1
+        assert rules.pairs() == {(0, 1)}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_similarity_rules(random_binary_matrix(0), k=-1)

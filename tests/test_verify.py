@@ -1,0 +1,68 @@
+"""Rule verification helpers (repro.mining.verify)."""
+
+from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.matrix.binary_matrix import BinaryMatrix
+from repro.mining.verify import (
+    check_no_false_negatives,
+    check_no_false_positives,
+    verify_implication_rules,
+    verify_similarity_rules,
+)
+
+
+def _matrix():
+    return BinaryMatrix([[0, 1], [0, 1], [0]], n_columns=2)
+
+
+class TestVerifyImplication:
+    def test_correct_rule_passes(self):
+        # Canonical rule: ones(1)=2 < ones(0)=3, conf(1=>0) = 1.
+        rule = ImplicationRule(1, 0, hits=2, ones=2)
+        assert verify_implication_rules(_matrix(), [rule], 1) == []
+
+    def test_wrong_statistics_reported(self):
+        rule = ImplicationRule(1, 0, hits=1, ones=2)
+        problems = verify_implication_rules(_matrix(), [rule], 0.5)
+        assert len(problems) == 1
+        assert "recomputed" in problems[0]
+
+    def test_below_threshold_reported(self):
+        rule = ImplicationRule(0, 1, hits=2, ones=3)
+        problems = verify_implication_rules(_matrix(), [rule], 0.9)
+        assert len(problems) == 1
+        assert "below threshold" in problems[0]
+
+
+class TestVerifySimilarity:
+    def test_correct_rule_passes(self):
+        rule = SimilarityRule(1, 0, intersection=2, union=3)
+        assert verify_similarity_rules(_matrix(), [rule], 0.5) == []
+
+    def test_wrong_statistics_reported(self):
+        rule = SimilarityRule(1, 0, intersection=3, union=3)
+        assert (
+            len(verify_similarity_rules(_matrix(), [rule], 0.5)) == 1
+        )
+
+    def test_below_threshold_reported(self):
+        rule = SimilarityRule(1, 0, intersection=2, union=3)
+        problems = verify_similarity_rules(_matrix(), [rule], 0.9)
+        assert "below threshold" in problems[0]
+
+
+class TestSetComparisons:
+    def test_false_positive_detection(self):
+        produced = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        truth = RuleSet()
+        assert check_no_false_positives(produced, truth) == {(0, 1)}
+        assert check_no_false_negatives(produced, truth) == set()
+
+    def test_false_negative_detection(self):
+        produced = RuleSet()
+        truth = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        assert check_no_false_negatives(produced, truth) == {(0, 1)}
+
+    def test_agreement_is_empty_both_ways(self):
+        rules = RuleSet([ImplicationRule(0, 1, 1, 1)])
+        assert check_no_false_positives(rules, rules) == set()
+        assert check_no_false_negatives(rules, rules) == set()
