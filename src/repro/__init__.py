@@ -24,6 +24,8 @@ Package layout:
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's data.
 - :mod:`repro.mining` — rule grouping and verification.
 - :mod:`repro.experiments` — one harness function per table/figure.
+- :mod:`repro.runtime` — fault tolerance for production runs:
+  checkpoint/resume, input validation, memory guards, I/O retry.
 """
 
 from repro.baselines import (
@@ -50,15 +52,28 @@ from repro.core import (
 from repro.datasets import dataset_names, load_dataset
 from repro.matrix import BinaryMatrix, Vocabulary
 from repro.mining import expand_keyword, similarity_components
+from repro.runtime import (
+    CheckpointStore,
+    MemoryBudgetExceeded,
+    MemoryGuard,
+    RowValidationError,
+    RowValidator,
+    mine_with_memory_budget,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BinaryMatrix",
     "BitmapConfig",
+    "CheckpointStore",
     "ImplicationRule",
+    "MemoryBudgetExceeded",
+    "MemoryGuard",
     "PipelineStats",
     "PruningOptions",
+    "RowValidationError",
+    "RowValidator",
     "RuleSet",
     "SimilarityRule",
     "Vocabulary",
@@ -75,6 +90,7 @@ __all__ = [
     "implication_rules_bruteforce",
     "kmin_implication_rules",
     "load_dataset",
+    "mine_with_memory_budget",
     "minhash_similarity_rules",
     "similarity_components",
     "similarity_rules_bruteforce",

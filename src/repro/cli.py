@@ -89,6 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--summary", action="store_true",
             help="print aggregate statistics instead of rules",
         )
+        sub.add_argument(
+            "--stream", action="store_true",
+            help="mine with the two-pass streaming pipeline (never "
+                 "loads the matrix; numeric ids only)",
+        )
+        sub.add_argument(
+            "--validate", choices=("strict", "skip", "clamp"), default=None,
+            help="malformed-row policy: strict rejects with a line-"
+                 "numbered diagnostic, skip drops and counts, clamp "
+                 "repairs (default: strict)",
+        )
+        sub.add_argument(
+            "--checkpoint", metavar="DIR", default=None,
+            help="persist pass-1 state in DIR and resume pass 2 from it "
+                 "after a crash (implies --stream)",
+        )
 
     mine_topk = subparsers.add_parser(
         "mine-topk",
@@ -148,42 +164,92 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _mine(args: argparse.Namespace) -> int:
-    from repro.core.dmc_imp import find_implication_rules
-    from repro.core.dmc_sim import find_similarity_rules
-    from repro.matrix.io import load_transactions
+def _mine_streaming(args: argparse.Namespace, validator) -> "RuleSet":
+    """Run mine-imp / mine-sim through the two-pass streaming runtime."""
+    from repro.matrix.stream import (
+        FileSource,
+        stream_implication_rules,
+        stream_similarity_rules,
+    )
 
+    source = FileSource(args.path, validator=validator)
+    if args.command == "mine-imp":
+        return stream_implication_rules(
+            source, args.minconf, checkpoint_dir=args.checkpoint
+        )
+    return stream_similarity_rules(
+        source, args.minsim, checkpoint_dir=args.checkpoint
+    )
+
+
+def _mine(args: argparse.Namespace) -> int:
+    from repro.runtime.validation import RowValidationError, RowValidator
+
+    validator = None
+    if getattr(args, "validate", None) is not None:
+        validator = RowValidator(args.validate)
+    use_stream = bool(
+        getattr(args, "stream", False) or getattr(args, "checkpoint", None)
+    )
+
+    vocabulary = None
     try:
-        matrix = load_transactions(args.path)
+        if use_stream:
+            rules = _mine_streaming(args, validator)
+        else:
+            from repro.core.dmc_imp import find_implication_rules
+            from repro.core.dmc_sim import find_similarity_rules
+            from repro.matrix.io import load_transactions
+
+            matrix = load_transactions(args.path, validator=validator)
+            vocabulary = matrix.vocabulary
+            if args.command == "mine-imp":
+                rules = find_implication_rules(matrix, args.minconf)
+            elif args.command == "mine-topk":
+                from repro.core.topk import top_k_implication_rules
+
+                rules, cut = top_k_implication_rules(matrix, args.k)
+            else:
+                rules = find_similarity_rules(matrix, args.minsim)
+    except RowValidationError as error:
+        print(f"invalid input: {error}", file=sys.stderr)
+        return 1
     except (OSError, ValueError) as error:
         print(f"cannot read {args.path}: {error}", file=sys.stderr)
         return 1
 
     if args.command == "mine-imp":
-        rules = find_implication_rules(matrix, args.minconf)
         kind = f"implication rules at minconf={args.minconf}"
     elif args.command == "mine-topk":
-        from repro.core.topk import top_k_implication_rules
-
-        rules, cut = top_k_implication_rules(matrix, args.k)
         cut_text = "none" if cut is None else f"{cut} ({float(cut):.3f})"
         kind = f"strongest rules (k={args.k}, cut={cut_text})"
     else:
-        rules = find_similarity_rules(matrix, args.minsim)
         kind = f"similar pairs at minsim={args.minsim}"
+
+    if validator is not None and validator.rows_skipped:
+        print(
+            f"skipped {validator.rows_skipped} malformed row(s)",
+            file=sys.stderr,
+        )
+    if validator is not None and validator.rows_clamped:
+        print(
+            f"clamped {validator.rows_clamped} malformed row(s) "
+            f"({validator.tokens_dropped} token(s) dropped)",
+            file=sys.stderr,
+        )
 
     if getattr(args, "summary", False):
         from repro.mining.summarize import summarize_rules
 
         print(f"summary of {kind}:")
-        print(summarize_rules(rules, matrix.vocabulary).render())
+        print(summarize_rules(rules, vocabulary).render())
         return 0
 
     ordered = rules.sorted()
     limit = getattr(args, "limit", 50)
     print(f"{len(ordered)} {kind}")
     for rule in ordered[:limit]:
-        print("  " + rule.format(matrix.vocabulary))
+        print("  " + rule.format(vocabulary))
     if len(ordered) > limit:
         print(f"  ... and {len(ordered) - limit} more")
     return 0

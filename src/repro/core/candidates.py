@@ -11,7 +11,7 @@ small fixed overhead.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 #: Bytes charged per candidate entry: a 4-byte column id + 4-byte counter.
 BYTES_PER_ENTRY = 8
@@ -21,13 +21,22 @@ BYTES_PER_LIST = 16
 
 
 class CandidateArray:
-    """All live candidate lists, keyed by the antecedent column id."""
+    """All live candidate lists, keyed by the antecedent column id.
 
-    def __init__(self) -> None:
+    ``on_memory``, if given, is called with the modelled byte total at
+    every growth step — a :class:`repro.runtime.guards.MemoryGuard`
+    registers its ``observe`` here to see spikes between row boundaries
+    (the scan loop itself only checks the budget once per row).
+    """
+
+    def __init__(
+        self, on_memory: Optional[Callable[[int], None]] = None
+    ) -> None:
         self._lists: Dict[int, Dict[int, int]] = {}
         self._entries = 0
         self.peak_entries = 0
         self.peak_bytes = 0
+        self._on_memory = on_memory
 
     # ------------------------------------------------------------------
     # List lifecycle
@@ -108,6 +117,8 @@ class CandidateArray:
         current = self.memory_bytes()
         if current > self.peak_bytes:
             self.peak_bytes = current
+        if self._on_memory is not None:
+            self._on_memory(current)
 
     def __repr__(self) -> str:
         return (

@@ -54,6 +54,10 @@ class PruningOptions:
     #: Section 5.2 — drop pairs whose best achievable similarity is
     #: below minsim (similarity mining only).
     max_hits_pruning: bool = True
+    #: Optional :class:`repro.runtime.guards.MemoryGuard` enforcing a
+    #: hard counter-array budget on every scan (duck-typed here to keep
+    #: the core free of runtime imports).
+    memory_guard: Optional[object] = None
 
 
 def find_implication_rules(
@@ -92,6 +96,7 @@ def find_implication_rules(
                 stats=stats.partial_scan,
                 bitmap=options.bitmap,
                 rules=rules,
+                guard=options.memory_guard,
             )
         stats.rules_partial = len(rules)
         return rules
@@ -104,6 +109,7 @@ def find_implication_rules(
             stats=stats.hundred_percent_scan,
             bitmap=options.bitmap,
             rules=rules,
+            guard=options.memory_guard,
         )
         stats.rules_hundred_percent = len(rules)
 
@@ -126,6 +132,7 @@ def find_implication_rules(
             stats=stats.partial_scan,
             bitmap=options.bitmap,
             rules=rules,
+            guard=options.memory_guard,
         )
         stats.rules_partial = len(rules) - stats.rules_hundred_percent
 

@@ -67,6 +67,7 @@ def find_similarity_rules(
                 stats=stats.partial_scan,
                 bitmap=options.bitmap,
                 rules=rules,
+                guard=options.memory_guard,
             )
         stats.rules_partial = len(rules)
         return rules
@@ -79,6 +80,7 @@ def find_similarity_rules(
             stats=stats.hundred_percent_scan,
             bitmap=options.bitmap,
             rules=rules,
+            guard=options.memory_guard,
         )
         stats.rules_hundred_percent = len(rules)
 
@@ -106,6 +108,7 @@ def find_similarity_rules(
             stats=stats.partial_scan,
             bitmap=options.bitmap,
             rules=rules,
+            guard=options.memory_guard,
         )
         stats.rules_partial = len(rules) - stats.rules_hundred_percent
 

@@ -67,6 +67,7 @@ def miss_counting_scan(
     stats: Optional[ScanStats] = None,
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
+    guard=None,
 ) -> RuleSet:
     """Run one DMC-base scan over an in-memory matrix.
 
@@ -86,6 +87,9 @@ def miss_counting_scan(
         Optional switch rule for the DMC-bitmap tail.
     rules:
         Optional existing :class:`RuleSet` to append into.
+    guard:
+        Optional :class:`repro.runtime.guards.MemoryGuard` enforcing a
+        hard budget on the counter array at every row.
     """
     if len(policy.ones) != matrix.n_columns:
         raise ValueError(
@@ -96,7 +100,8 @@ def miss_counting_scan(
         order = _default_order(matrix)
     rows = ((row_id, matrix.row(row_id)) for row_id in order)
     return miss_counting_scan_rows(
-        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules
+        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules,
+        guard=guard,
     )
 
 
@@ -107,6 +112,7 @@ def miss_counting_scan_rows(
     stats: Optional[ScanStats] = None,
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
+    guard=None,
 ) -> RuleSet:
     """Run one DMC-base scan over a row stream (Algorithm 3.1).
 
@@ -118,6 +124,13 @@ def miss_counting_scan_rows(
     remainder of the stream is drained into the tail (which is exactly
     what Algorithm 4.1 does: "read the rest of the rows and create
     bitmaps").
+
+    A ``guard`` (:class:`repro.runtime.guards.MemoryGuard`) is checked
+    at every row boundary, not just within the paper's end-of-scan
+    switch window: when the counter array exceeds the guard's hard
+    budget the scan degrades to the DMC-bitmap tail immediately
+    (``action="bitmap"``) or aborts (``action="raise"``).  The tail is
+    position independent, so early degradation preserves exactness.
     """
     if stats is None:
         stats = ScanStats()
@@ -127,7 +140,9 @@ def miss_counting_scan_rows(
 
     ones = policy.ones
     count = [0] * len(ones)
-    cand = CandidateArray()
+    cand = CandidateArray(
+        on_memory=guard.observe if guard is not None else None
+    )
     rows = iter(rows)
 
     for position in range(n_rows):
@@ -138,6 +153,15 @@ def miss_counting_scan_rows(
                 bitmap_tail(remaining, policy, count, cand, rules, stats)
                 stats.scan_seconds += time.perf_counter() - started
                 return rules
+        if guard is not None and position and guard.tripping(
+            cand.memory_bytes(), position
+        ):
+            stats.guard_tripped_at = position
+            stats.bitmap_switch_at = position
+            remaining = list(rows)
+            bitmap_tail(remaining, policy, count, cand, rules, stats)
+            stats.scan_seconds += time.perf_counter() - started
+            return rules
 
         try:
             _, row = next(rows)
@@ -221,6 +245,7 @@ def zero_miss_scan(
     stats: Optional[ScanStats] = None,
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
+    guard=None,
 ) -> RuleSet:
     """Section 4.3 fast path for policies whose budgets are all zero.
 
@@ -239,7 +264,8 @@ def zero_miss_scan(
         order = _default_order(matrix)
     rows = ((row_id, matrix.row(row_id)) for row_id in order)
     return zero_miss_scan_rows(
-        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules
+        rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules,
+        guard=guard,
     )
 
 
@@ -250,6 +276,7 @@ def zero_miss_scan_rows(
     stats: Optional[ScanStats] = None,
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
+    guard=None,
 ) -> RuleSet:
     """Streaming core of :func:`zero_miss_scan` (see there)."""
     if stats is None:
@@ -264,20 +291,31 @@ def zero_miss_scan_rows(
     entries = 0
     rows = iter(rows)
 
+    def hand_over_to_bitmap_tail() -> None:
+        cand = CandidateArray()
+        for column_j, candidates in lists.items():
+            cand.ensure(column_j)
+            for candidate_k in candidates:
+                cand.add(column_j, candidate_k, 0)
+        remaining = list(rows)
+        bitmap_tail(remaining, policy, count, cand, rules, stats)
+
     for position in range(n_rows):
+        memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
         if bitmap is not None and n_rows - position <= bitmap.switch_rows:
-            memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
             if memory > bitmap.memory_budget_bytes:
                 stats.bitmap_switch_at = position
-                cand = CandidateArray()
-                for column_j, candidates in lists.items():
-                    cand.ensure(column_j)
-                    for candidate_k in candidates:
-                        cand.add(column_j, candidate_k, 0)
-                remaining = list(rows)
-                bitmap_tail(remaining, policy, count, cand, rules, stats)
+                hand_over_to_bitmap_tail()
                 stats.scan_seconds += time.perf_counter() - started
                 return rules
+        if guard is not None and position and guard.tripping(
+            memory, position
+        ):
+            stats.guard_tripped_at = position
+            stats.bitmap_switch_at = position
+            hand_over_to_bitmap_tail()
+            stats.scan_seconds += time.perf_counter() - started
+            return rules
 
         try:
             _, row = next(rows)

@@ -35,6 +35,14 @@ class ScanStats:
     rules_emitted: int = 0
     #: Index into the scan order at which DMC-bitmap took over (or None).
     bitmap_switch_at: Optional[int] = None
+    #: Row at which a MemoryGuard forced early degradation (or None).
+    guard_tripped_at: Optional[int] = None
+    #: Rows dropped by a ``skip``-mode RowValidator during the first pass.
+    rows_skipped: int = 0
+    #: Rows repaired by a ``clamp``-mode RowValidator during the first pass.
+    rows_clamped: int = 0
+    #: Transient spill-I/O errors that were retried successfully.
+    io_retries: int = 0
     bitmap_bytes: int = 0
     bitmap_phase1_columns: int = 0
     bitmap_phase2_columns: int = 0
@@ -59,6 +67,11 @@ class ScanStats:
         self.candidates_added += other.candidates_added
         self.candidates_deleted += other.candidates_deleted
         self.rules_emitted += other.rules_emitted
+        self.rows_skipped += other.rows_skipped
+        self.rows_clamped += other.rows_clamped
+        self.io_retries += other.io_retries
+        if self.guard_tripped_at is None:
+            self.guard_tripped_at = other.guard_tripped_at
         self.bitmap_bytes = max(self.bitmap_bytes, other.bitmap_bytes)
         self.bitmap_seconds += other.bitmap_seconds
         self.scan_seconds += other.scan_seconds

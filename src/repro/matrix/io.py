@@ -45,8 +45,17 @@ def save_transactions(matrix: BinaryMatrix, path: str) -> None:
                 handle.write("\n")
 
 
-def load_transactions(path: str) -> BinaryMatrix:
-    """Read a matrix written by :func:`save_transactions`."""
+def load_transactions(path: str, validator=None) -> BinaryMatrix:
+    """Read a matrix written by :func:`save_transactions`.
+
+    ``validator`` (a :class:`repro.runtime.validation.RowValidator`)
+    decides what happens to malformed rows: ``strict`` raises a
+    diagnostic naming the line number, ``skip`` drops the row (counted
+    on the validator), ``clamp`` repairs it.  Without one, a garbage
+    token raises a plain ``ValueError``.  For labelled files the
+    validator applies *after* label resolution (labels themselves are
+    free-form).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         first = handle.readline()
         if first.rstrip("\n") != _HEADER:
@@ -54,7 +63,7 @@ def load_transactions(path: str) -> BinaryMatrix:
         n_columns: Optional[int] = None
         vocabulary: Optional[Vocabulary] = None
         rows = []
-        for line in handle:
+        for line_number, line in enumerate(handle, start=2):
             line = line.rstrip("\n")
             if line.startswith(_COLUMNS_PREFIX):
                 n_columns = int(line[len(_COLUMNS_PREFIX) :])
@@ -64,7 +73,21 @@ def load_transactions(path: str) -> BinaryMatrix:
                 continue
             tokens = line.split()
             if vocabulary is not None:
-                rows.append([vocabulary.id_of(token) for token in tokens])
+                row = [vocabulary.id_of(token) for token in tokens]
+                if validator is not None:
+                    checked = validator.validate_row(
+                        row, line_number=line_number, source=path
+                    )
+                    if checked is None:
+                        continue
+                    row = list(checked)
+                rows.append(row)
+            elif validator is not None:
+                checked = validator.validate_tokens(
+                    tokens, line_number=line_number, source=path
+                )
+                if checked is not None:
+                    rows.append(list(checked))
             else:
                 rows.append([int(token) for token in tokens])
         return BinaryMatrix(rows, n_columns=n_columns, vocabulary=vocabulary)

@@ -18,13 +18,29 @@ large to hold as a :class:`BinaryMatrix`:
 
 The streamed pipelines produce exactly the rules of their in-memory
 counterparts; the tests assert it.
+
+Resilience (see :mod:`repro.runtime`):
+
+- pass ``checkpoint_dir=`` to persist the pass-1 state (``ones[]`` +
+  checksummed spill buckets) and let a re-run *resume at pass 2* after
+  a crash — stale or corrupted checkpoints are detected and the run
+  falls back to a full rescan;
+- attach a :class:`repro.runtime.validation.RowValidator` to a
+  :class:`FileSource` / :class:`IterableSource` to survive malformed
+  rows under a ``strict`` / ``skip`` / ``clamp`` policy;
+- pass ``guard=`` (a :class:`repro.runtime.guards.MemoryGuard`) to cap
+  the counter array's memory;
+- spill-bucket reads retry transient I/O errors with backoff, and the
+  whole pipeline is instrumented with fault-injection sites
+  (:mod:`repro.runtime.faults`).
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Set, TextIO, Tuple
 
 from repro.core.miss_counting import BitmapConfig
 from repro.core.policies import (
@@ -35,13 +51,32 @@ from repro.core.policies import (
     SimilarityPolicy,
 )
 from repro.core.rules import RuleSet
-from repro.core.stats import ScanStats
+from repro.core.stats import PipelineStats, ScanStats
 from repro.core.thresholds import (
     as_fraction,
     confidence_removal_cutoff,
     similarity_removal_cutoff,
 )
 from repro.matrix.reorder import bucket_index
+from repro.runtime import faults
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    Pass1Checkpoint,
+    source_fingerprint,
+)
+from repro.runtime.guards import retry_io
+from repro.runtime.validation import RowValidator
+
+
+class SourceNotReiterableError(RuntimeError):
+    """A source yielded rows once and then came back empty.
+
+    Raised by :class:`IterableSource` when a second iteration produces
+    zero rows after a non-empty first one — the signature of wrapping a
+    single-shot generator.  Without this guard the second pass would
+    silently mine an empty rule set.
+    """
 
 
 class TransactionSource:
@@ -71,17 +106,49 @@ class MatrixSource(TransactionSource):
 
 
 class IterableSource(TransactionSource):
-    """Wrap a re-iterable of rows (e.g. a list of tuples)."""
+    """Wrap a re-iterable of rows (e.g. a list of tuples).
+
+    An optional :class:`RowValidator` is applied to every row (rows are
+    numbered from 1 for diagnostics).  Wrapping a single-shot generator
+    is detected on the second iteration and raises
+    :class:`SourceNotReiterableError` instead of silently yielding
+    nothing.
+    """
 
     def __init__(
-        self, rows: Iterable[Iterable[int]], columns: Optional[int] = None
+        self,
+        rows: Iterable[Iterable[int]],
+        columns: Optional[int] = None,
+        validator: Optional[RowValidator] = None,
     ) -> None:
         self._rows = rows
         self._columns = columns
+        self.validator = validator
+        self._last_iteration_rows: Optional[int] = None
 
     def iter_rows(self) -> Iterator[Tuple[int, ...]]:
-        for row in self._rows:
-            yield tuple(sorted(set(int(c) for c in row)))
+        yielded = 0
+        for row_number, row in enumerate(self._rows, start=1):
+            if self.validator is None:
+                normalized: Optional[Tuple[int, ...]] = tuple(
+                    sorted(set(int(c) for c in row))
+                )
+            else:
+                normalized = self.validator.validate_row(
+                    row, line_number=row_number, source="iterable source"
+                )
+            if normalized is None:
+                continue
+            yielded += 1
+            yield normalized
+        if self._last_iteration_rows and not yielded:
+            raise SourceNotReiterableError(
+                "source is not re-iterable: the previous pass yielded "
+                f"{self._last_iteration_rows} rows but this pass yielded "
+                "none — wrap rows in a list (or a re-iterable) instead "
+                "of a single-shot generator"
+            )
+        self._last_iteration_rows = yielded
 
     def n_columns(self) -> Optional[int]:
         return self._columns
@@ -92,49 +159,119 @@ class FileSource(TransactionSource):
 
     The file may carry the :mod:`repro.matrix.io` header lines; label
     vocabularies are not supported in streaming mode (resolve labels up
-    front instead).
+    front instead).  The leading header block is parsed eagerly at
+    construction time, so a declared ``#columns`` count is available to
+    pre-size the pass-1 counts array before the first iteration.
+
+    An optional :class:`RowValidator` decides what happens to malformed
+    lines (diagnostics carry the 1-based line number and the path);
+    without one, any garbage token raises a plain ``ValueError``.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, validator: Optional[RowValidator] = None
+    ) -> None:
         self.path = path
+        self.validator = validator
         self._columns: Optional[int] = None
+        self._read_header()
+
+    def _read_header(self) -> None:
+        """Parse the leading ``#``-comment block for ``#columns``."""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.startswith("#"):
+                    break
+                if line.startswith("#columns "):
+                    self._columns = int(line[len("#columns "):])
+                    break
 
     def iter_rows(self) -> Iterator[Tuple[int, ...]]:
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.rstrip("\n")
                 if line.startswith("#columns "):
-                    self._columns = int(line[len("#columns ") :])
+                    self._columns = int(line[len("#columns "):])
                     continue
                 if line.startswith("#"):
                     continue
                 if not line:
                     yield ()
                     continue
-                yield tuple(
-                    sorted(set(int(token) for token in line.split()))
+                tokens = line.split()
+                if self.validator is None:
+                    yield tuple(sorted(set(int(t) for t in tokens)))
+                    continue
+                row = self.validator.validate_tokens(
+                    tokens, line_number=line_number, source=self.path
                 )
+                if row is not None:
+                    yield row
 
     def n_columns(self) -> Optional[int]:
         return self._columns
 
 
 class BucketSpill:
-    """First-scan density bucketing into temporary spill files.
+    """First-scan density bucketing into spill files.
 
     Rows are appended to the bucket file for their density range
     ``[2**i, 2**(i+1))`` as they stream past; ``read_sparsest_first``
     then replays them bucket by bucket.  Use as a context manager so
-    the temp files are always removed.
+    the files are always cleaned up.
+
+    Two modes:
+
+    - **temporary** (default): buckets live in a fresh temp directory
+      that :meth:`close` removes entirely — including any stray files
+      left behind by a crashed reader;
+    - **durable** (``durable=True``): buckets are written directly into
+      the given directory and *survive* :meth:`close`; this is how the
+      checkpointed pipelines persist pass-1 state for resume.
+
+    Bucket reads go through :func:`repro.runtime.guards.retry_io` (the
+    ``"spill.open"`` fault site), so transient I/O errors back off and
+    retry instead of killing pass 2.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
-        self._directory = tempfile.mkdtemp(
-            prefix="dmc-buckets-", dir=directory
-        )
-        self._handles: List = []
+    def __init__(
+        self, directory: Optional[str] = None, durable: bool = False
+    ) -> None:
+        if durable:
+            if directory is None:
+                raise ValueError("a durable spill needs an explicit directory")
+            os.makedirs(directory, exist_ok=True)
+            self._directory = directory
+        else:
+            self._directory = tempfile.mkdtemp(
+                prefix="dmc-buckets-", dir=directory
+            )
+        self._delete_on_close = not durable
+        self._handles: List[TextIO] = []
         self._paths: List[str] = []
+        self._rows_per_bucket: List[int] = []
+        self._writable = True
+        self._closed = False
         self.rows_spilled = 0
+        self.io_retries = 0
+
+    @classmethod
+    def from_checkpoint(
+        cls, directory: str, checkpoint: Pass1Checkpoint
+    ) -> "BucketSpill":
+        """Reopen (read-only) the buckets recorded in a verified
+        pass-1 checkpoint."""
+        spill = cls(directory=directory, durable=True)
+        spill._paths = [
+            os.path.join(directory, bucket.name)
+            for bucket in checkpoint.buckets
+        ]
+        spill._rows_per_bucket = [
+            bucket.rows for bucket in checkpoint.buckets
+        ]
+        spill.rows_spilled = checkpoint.rows_spilled
+        spill._writable = False
+        return spill
 
     def __enter__(self) -> "BucketSpill":
         return self
@@ -144,6 +281,8 @@ class BucketSpill:
 
     def add(self, row: Tuple[int, ...]) -> None:
         """Spill one non-empty row to its density bucket."""
+        if not self._writable:
+            raise RuntimeError("spill is finished or closed (read-only)")
         if not row:
             return
         bucket = bucket_index(len(row))
@@ -153,34 +292,87 @@ class BucketSpill:
             )
             self._paths.append(path)
             self._handles.append(open(path, "w", encoding="utf-8"))
+            self._rows_per_bucket.append(0)
         self._handles[bucket].write(" ".join(map(str, row)) + "\n")
+        self._rows_per_bucket[bucket] += 1
         self.rows_spilled += 1
 
     @property
     def n_buckets(self) -> int:
         """Number of bucket files materialized so far."""
-        return len(self._handles)
+        return len(self._paths)
+
+    def bucket_files(self) -> List[Tuple[str, str, int]]:
+        """``(name, path, rows)`` per bucket, sparsest first — the shape
+        :meth:`repro.runtime.checkpoint.CheckpointStore.save_pass1`
+        expects."""
+        return [
+            (os.path.basename(path), path, self._rows_per_bucket[index])
+            for index, path in enumerate(self._paths)
+        ]
+
+    def finish(self) -> None:
+        """Flush and close the write handles, keeping the files.
+
+        Call after pass 1 so checksums (and readers) see the complete
+        bucket contents; the spill becomes read-only.
+        """
+        self._writable = False
+        errors = []
+        for handle in self._handles:
+            try:
+                handle.close()
+            except OSError as error:
+                errors.append(error)
+        self._handles = []
+        if errors:
+            raise errors[0]
 
     def read_sparsest_first(self) -> Iterator[Tuple[int, ...]]:
         """Replay all spilled rows, sparsest bucket first."""
         for handle in self._handles:
             handle.flush()
         for path in self._paths:
-            with open(path, "r", encoding="utf-8") as handle:
+            handle = retry_io(
+                lambda path=path: self._open_bucket(path),
+                on_retry=self._note_retry,
+            )
+            with handle:
                 for line in handle:
                     yield tuple(int(token) for token in line.split())
 
+    def _open_bucket(self, path: str) -> TextIO:
+        faults.trip("spill.open")
+        return open(path, "r", encoding="utf-8")
+
+    def _note_retry(self, error: BaseException) -> None:
+        self.io_retries += 1
+
     def close(self) -> None:
-        """Close and delete the spill files."""
+        """Release the spill: close every handle, then clean up.
+
+        Idempotent.  Every handle is closed even if an earlier close
+        raises (the first error is re-raised at the end), and temporary
+        spill directories are removed recursively — stray files from a
+        crashed reader cannot strand the directory on disk.  Durable
+        spills keep their files (the checkpoint store owns them).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._writable = False
+        errors = []
         for handle in self._handles:
-            handle.close()
-        for path in self._paths:
-            if os.path.exists(path):
-                os.remove(path)
-        if os.path.isdir(self._directory):
-            os.rmdir(self._directory)
+            try:
+                handle.close()
+            except OSError as error:
+                errors.append(error)
         self._handles = []
         self._paths = []
+        if self._delete_on_close:
+            shutil.rmtree(self._directory, ignore_errors=True)
+        if errors:
+            raise errors[0]
 
 
 def _first_scan(
@@ -192,6 +384,7 @@ def _first_scan(
     if declared:
         counts = [0] * declared
     for row in source.iter_rows():
+        faults.trip("pass1.row")
         for column in row:
             if column >= len(counts):
                 counts.extend([0] * (column + 1 - len(counts)))
@@ -208,6 +401,7 @@ def _scan_spill(
     bitmap: Optional[BitmapConfig],
     keep: Optional[set] = None,
     zero_miss: bool = False,
+    guard=None,
 ) -> None:
     """Pass 2: stream the spilled rows through the scan engine.
 
@@ -222,10 +416,12 @@ def _scan_spill(
 
     def replay() -> Iterator[Tuple[int, Tuple[int, ...]]]:
         for row_id, row in enumerate(spill.read_sparsest_first()):
+            faults.trip("pass2.row")
             if keep is not None:
                 row = tuple(c for c in row if c in keep)
             yield row_id, row
 
+    retries_before = spill.io_retries
     scan = zero_miss_scan_rows if zero_miss else miss_counting_scan_rows
     scan(
         replay(),
@@ -234,7 +430,144 @@ def _scan_spill(
         stats=stats,
         bitmap=bitmap,
         rules=rules,
+        guard=guard,
     )
+    stats.io_retries += spill.io_retries - retries_before
+
+
+def _record_validation(
+    source: TransactionSource,
+    stats: PipelineStats,
+    skipped_before: int,
+    clamped_before: int,
+) -> None:
+    """Copy this run's validator counters into the pipeline stats."""
+    validator = getattr(source, "validator", None)
+    if validator is None:
+        return
+    stats.hundred_percent_scan.rows_skipped += (
+        validator.rows_skipped - skipped_before
+    )
+    stats.hundred_percent_scan.rows_clamped += (
+        validator.rows_clamped - clamped_before
+    )
+
+
+def _stream_rules(
+    source: TransactionSource,
+    threshold,
+    kind: str,
+    bitmap: Optional[BitmapConfig],
+    spill_dir: Optional[str],
+    checkpoint_dir: Optional[str],
+    guard,
+    stats: Optional[PipelineStats],
+) -> RuleSet:
+    """The shared two-pass pipeline behind both stream entry points."""
+    threshold = as_fraction(threshold)
+    if stats is None:
+        stats = PipelineStats()
+    rules = RuleSet()
+    validator = getattr(source, "validator", None)
+    skipped_before = validator.rows_skipped if validator else 0
+    clamped_before = validator.rows_clamped if validator else 0
+
+    store: Optional[CheckpointStore] = None
+    spill: Optional[BucketSpill] = None
+    ones: Optional[List[int]] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        fingerprint = source_fingerprint(source)
+        params = {"kind": kind, "threshold": str(threshold)}
+        try:
+            checkpoint = store.load_pass1(fingerprint, params)
+        except CheckpointError:
+            # Stale or corrupted: discard and rescan from scratch.
+            store.clear()
+            checkpoint = None
+        if checkpoint is not None:
+            spill = BucketSpill.from_checkpoint(
+                store.buckets_directory, checkpoint
+            )
+            ones = list(checkpoint.ones)
+
+    try:
+        if spill is None:
+            if store is not None:
+                spill = BucketSpill(
+                    directory=store.prepare_buckets(), durable=True
+                )
+            else:
+                spill = BucketSpill(directory=spill_dir)
+            with stats.timer.phase("pre-scan"):
+                ones = _first_scan(source, spill)
+            _record_validation(source, stats, skipped_before, clamped_before)
+            if store is not None:
+                spill.finish()
+                store.save_pass1(
+                    ones,
+                    spill.bucket_files(),
+                    spill.rows_spilled,
+                    fingerprint,
+                    params,
+                )
+        stats.columns_total = len(ones)
+
+        if kind == "implication":
+            hundred_policy: PairPolicy = HundredPercentPolicy(ones)
+        else:
+            hundred_policy = IdentityPolicy(ones)
+
+        with stats.timer.phase("100%-rules"):
+            _scan_spill(
+                spill,
+                hundred_policy,
+                rules,
+                stats.hundred_percent_scan,
+                bitmap,
+                zero_miss=True,
+                guard=guard,
+            )
+        stats.rules_hundred_percent = len(rules)
+
+        if threshold != 1:
+            with stats.timer.phase("<100%-rules"):
+                if kind == "implication":
+                    cutoff = confidence_removal_cutoff(threshold)
+                else:
+                    cutoff = similarity_removal_cutoff(threshold)
+                keep: Set[int] = {
+                    c for c, count in enumerate(ones) if count > cutoff
+                }
+                stats.columns_removed = len(ones) - len(keep)
+                restricted = [
+                    count if c in keep else 0
+                    for c, count in enumerate(ones)
+                ]
+                if kind == "implication":
+                    partial_policy: PairPolicy = ImplicationPolicy(
+                        restricted, threshold
+                    )
+                else:
+                    partial_policy = SimilarityPolicy(restricted, threshold)
+                _scan_spill(
+                    spill,
+                    partial_policy,
+                    rules,
+                    stats.partial_scan,
+                    bitmap,
+                    keep=keep,
+                    guard=guard,
+                )
+            stats.rules_partial = len(rules) - stats.rules_hundred_percent
+    finally:
+        if spill is not None:
+            spill.close()
+
+    if store is not None:
+        # The run completed; the checkpoint has served its purpose.
+        store.clear()
+    return rules
 
 
 def stream_implication_rules(
@@ -242,6 +575,9 @@ def stream_implication_rules(
     minconf,
     bitmap: Optional[BitmapConfig] = None,
     spill_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    guard=None,
+    stats: Optional[PipelineStats] = None,
 ) -> RuleSet:
     """Two-pass DMC-imp over a streaming source.
 
@@ -249,34 +585,20 @@ def stream_implication_rules(
     files; pass 2 replays the buckets sparsest-first through the
     100%-rule and <100% scans.  Equivalent to
     :func:`repro.core.dmc_imp.find_implication_rules`.
+
+    With ``checkpoint_dir`` the pass-1 state is persisted there (see
+    :mod:`repro.runtime.checkpoint`): a crash after pass 1 resumes at
+    pass 2 on the next call with the same directory, source and
+    threshold, and the resumed run produces the identical rule set.
+    ``guard`` caps the counter array
+    (:class:`repro.runtime.guards.MemoryGuard`); ``stats`` collects the
+    same :class:`PipelineStats` the in-memory pipeline fills, plus
+    validation/retry counters.
     """
-    minconf = as_fraction(minconf)
-    rules = RuleSet()
-    with BucketSpill(directory=spill_dir) as spill:
-        ones = _first_scan(source, spill)
-        _scan_spill(
-            spill,
-            HundredPercentPolicy(ones),
-            rules,
-            ScanStats(),
-            bitmap,
-            zero_miss=True,
-        )
-        if minconf != 1:
-            cutoff = confidence_removal_cutoff(minconf)
-            keep = {c for c, count in enumerate(ones) if count > cutoff}
-            restricted = [
-                count if c in keep else 0 for c, count in enumerate(ones)
-            ]
-            _scan_spill(
-                spill,
-                ImplicationPolicy(restricted, minconf),
-                rules,
-                ScanStats(),
-                bitmap,
-                keep=keep,
-            )
-    return rules
+    return _stream_rules(
+        source, minconf, "implication", bitmap, spill_dir,
+        checkpoint_dir, guard, stats,
+    )
 
 
 def stream_similarity_rules(
@@ -284,35 +606,17 @@ def stream_similarity_rules(
     minsim,
     bitmap: Optional[BitmapConfig] = None,
     spill_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    guard=None,
+    stats: Optional[PipelineStats] = None,
 ) -> RuleSet:
     """Two-pass DMC-sim over a streaming source.
 
     Equivalent to :func:`repro.core.dmc_sim.find_similarity_rules`.
+    Checkpointing, validation, guarding and stats behave exactly as in
+    :func:`stream_implication_rules`.
     """
-    minsim = as_fraction(minsim)
-    rules = RuleSet()
-    with BucketSpill(directory=spill_dir) as spill:
-        ones = _first_scan(source, spill)
-        _scan_spill(
-            spill,
-            IdentityPolicy(ones),
-            rules,
-            ScanStats(),
-            bitmap,
-            zero_miss=True,
-        )
-        if minsim != 1:
-            cutoff = similarity_removal_cutoff(minsim)
-            keep = {c for c, count in enumerate(ones) if count > cutoff}
-            restricted = [
-                count if c in keep else 0 for c, count in enumerate(ones)
-            ]
-            _scan_spill(
-                spill,
-                SimilarityPolicy(restricted, minsim),
-                rules,
-                ScanStats(),
-                bitmap,
-                keep=keep,
-            )
-    return rules
+    return _stream_rules(
+        source, minsim, "similarity", bitmap, spill_dir,
+        checkpoint_dir, guard, stats,
+    )

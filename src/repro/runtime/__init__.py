@@ -1,0 +1,67 @@
+"""The resilient streaming runtime: fault tolerance for long scans.
+
+The paper proves the mining *algorithms* exact; this package keeps the
+*runs* exact in the presence of operational faults:
+
+- :mod:`repro.runtime.checkpoint` — persist pass-1 state (``ones[]``
+  counts + spill-bucket manifest with checksums) so an interrupted
+  two-pass run resumes at pass 2 instead of rescanning, with atomic
+  writes, staleness and corruption detection.
+- :mod:`repro.runtime.validation` — ``strict`` / ``skip`` / ``clamp``
+  policies for malformed input rows, with line-numbered diagnostics.
+- :mod:`repro.runtime.guards` — a memory-budget watchdog that degrades
+  to the DMC-bitmap tail or the partitioned algorithm instead of
+  OOM-ing, and retry-with-backoff for transient spill I/O.
+- :mod:`repro.runtime.faults` — a deterministic fault-injection
+  harness used by the test suite to prove the above (a run killed
+  mid-pass-2 resumes to the byte-identical rule set).
+
+See :mod:`repro.matrix.stream` for the pipelines these wrap, and the
+"Fault tolerance & recovery" section of USAGE.md for the operator view.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointCorrupted,
+    CheckpointError,
+    CheckpointStale,
+    CheckpointStore,
+    Pass1Checkpoint,
+    source_fingerprint,
+)
+from repro.runtime.faults import (
+    Fault,
+    FaultPlan,
+    SimulatedCrash,
+    TransientIOError,
+)
+from repro.runtime.guards import (
+    MemoryBudgetExceeded,
+    MemoryGuard,
+    mine_with_memory_budget,
+    retry_io,
+)
+from repro.runtime.validation import (
+    VALIDATION_MODES,
+    RowValidationError,
+    RowValidator,
+)
+
+__all__ = [
+    "CheckpointCorrupted",
+    "CheckpointError",
+    "CheckpointStale",
+    "CheckpointStore",
+    "Fault",
+    "FaultPlan",
+    "MemoryBudgetExceeded",
+    "MemoryGuard",
+    "Pass1Checkpoint",
+    "RowValidationError",
+    "RowValidator",
+    "SimulatedCrash",
+    "TransientIOError",
+    "VALIDATION_MODES",
+    "mine_with_memory_budget",
+    "retry_io",
+    "source_fingerprint",
+]

@@ -1,0 +1,179 @@
+"""Resource guards: memory-budget watchdog and I/O retry-with-backoff.
+
+Two failure modes threaten a long scan in production:
+
+- the counter array outgrowing memory — the paper's own DMC-bitmap
+  switch (Section 4.4) only fires near the *end* of a scan, so an
+  adversarial row order can still OOM mid-scan; and
+- transient I/O errors on the spill-bucket files (network filesystems,
+  overloaded disks) aborting pass 2 outright.
+
+:class:`MemoryGuard` watches the candidate array's modelled bytes on
+every row of a scan and reacts when a hard budget is exceeded: either
+force the DMC-bitmap tail immediately (``action="bitmap"`` — graceful
+degradation, exactness preserved because the tail is position
+independent) or raise :class:`MemoryBudgetExceeded`
+(``action="raise"``) so the caller can fall back to the partitioned
+algorithm.  :func:`mine_with_memory_budget` packages the fallback.
+
+:func:`retry_io` retries a transient-failure-prone operation with
+exponential backoff; the spill reader and the checkpoint writer run
+their opens/writes through it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+#: Exception types retried by :func:`retry_io` by default.
+TRANSIENT_ERRORS = (OSError,)
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """The counter array grew past a :class:`MemoryGuard`'s hard budget."""
+
+
+class MemoryGuard:
+    """A watchdog over the candidate (counter) array's modelled memory.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Hard budget on :meth:`repro.core.candidates.CandidateArray.
+        memory_bytes`.
+    action:
+        ``"bitmap"`` — ask the scan to hand over to the DMC-bitmap tail
+        at the current row (the scan finishes within the tail's packed
+        representation instead of growing further);
+        ``"raise"`` — raise :class:`MemoryBudgetExceeded`.
+
+    The same instance may guard several scans of one pipeline; it
+    records the high-water mark it observed, the row index of the first
+    trip and the total number of trips.
+    """
+
+    def __init__(self, budget_bytes: int, action: str = "bitmap") -> None:
+        if action not in ("bitmap", "raise"):
+            raise ValueError(
+                f"unknown guard action {action!r}; use 'bitmap' or 'raise'"
+            )
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = budget_bytes
+        self.action = action
+        self.high_water_bytes = 0
+        self.tripped_at: Optional[int] = None
+        self.trips = 0
+
+    def observe(self, memory_bytes: int) -> None:
+        """Record a memory sample (suitable as a CandidateArray
+        ``on_memory`` listener — catches spikes between row boundaries)."""
+        if memory_bytes > self.high_water_bytes:
+            self.high_water_bytes = memory_bytes
+
+    def tripping(self, memory_bytes: int, position: int) -> Optional[str]:
+        """Check the budget at a row boundary.
+
+        Returns ``None`` (within budget) or ``"bitmap"`` (degrade now);
+        raises :class:`MemoryBudgetExceeded` when ``action="raise"``.
+        """
+        self.observe(memory_bytes)
+        if memory_bytes <= self.budget_bytes:
+            return None
+        self.trips += 1
+        if self.tripped_at is None:
+            self.tripped_at = position
+        if self.action == "raise":
+            raise MemoryBudgetExceeded(
+                f"counter array at {memory_bytes} bytes exceeds the "
+                f"{self.budget_bytes}-byte budget at scan row {position}"
+            )
+        return "bitmap"
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryGuard(budget={self.budget_bytes}, "
+            f"action={self.action!r}, trips={self.trips})"
+        )
+
+
+def retry_io(
+    operation: Callable,
+    attempts: int = 3,
+    base_delay: float = 0.01,
+    retry_on: Tuple[type, ...] = TRANSIENT_ERRORS,
+    on_retry: Optional[Callable[[BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Run ``operation`` with exponential backoff on transient errors.
+
+    Retries only exceptions matching ``retry_on`` (``OSError`` by
+    default — a :class:`repro.runtime.faults.SimulatedCrash` is *not*
+    an ``OSError`` and always propagates immediately).  ``on_retry`` is
+    invoked with the error before each backoff sleep, letting callers
+    count retries into their stats.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except retry_on as error:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(error)
+            sleep(base_delay * (2 ** attempt))
+
+
+def mine_with_memory_budget(
+    matrix,
+    threshold,
+    kind: str = "implication",
+    budget_bytes: int = 50 * 2 ** 20,
+    n_partitions: int = 4,
+    n_workers: Optional[int] = None,
+):
+    """Mine with a hard memory budget, degrading to partitioned mining.
+
+    Runs the standard DMC pipeline under a ``action="raise"``
+    :class:`MemoryGuard`; if the counter array would exceed
+    ``budget_bytes``, the run is abandoned and redone with the
+    divide-and-conquer algorithm of :mod:`repro.core.partitioned`,
+    whose working set is bounded by the partition size.  Both paths
+    produce the exact rule set.
+
+    Returns ``(rules, engine)`` where ``engine`` is ``"dmc"`` or
+    ``"partitioned"``.
+    """
+    from dataclasses import replace
+
+    from repro.core.dmc_imp import PruningOptions, find_implication_rules
+    from repro.core.dmc_sim import find_similarity_rules
+    from repro.core.partitioned import (
+        find_implication_rules_partitioned,
+        find_similarity_rules_partitioned,
+    )
+
+    if kind not in ("implication", "similarity"):
+        raise ValueError(f"unknown rule kind {kind!r}")
+    guard = MemoryGuard(budget_bytes, action="raise")
+    options = replace(PruningOptions(), memory_guard=guard)
+    try:
+        if kind == "implication":
+            rules = find_implication_rules(matrix, threshold, options=options)
+        else:
+            rules = find_similarity_rules(matrix, threshold, options=options)
+        return rules, "dmc"
+    except MemoryBudgetExceeded:
+        pass
+    if kind == "implication":
+        rules = find_implication_rules_partitioned(
+            matrix, threshold, n_partitions=n_partitions, n_workers=n_workers
+        )
+    else:
+        rules = find_similarity_rules_partitioned(
+            matrix, threshold, n_partitions=n_partitions, n_workers=n_workers
+        )
+    return rules, "partitioned"

@@ -7,6 +7,25 @@ import pytest
 
 from repro.matrix.binary_matrix import BinaryMatrix
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (extended fault-injection sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 # ----------------------------------------------------------------------
 # The Figure 2 / Example 3.1 matrix, reconstructed from the paper.
 #

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.mining",
     "repro.experiments",
+    "repro.runtime",
 ]
 
 

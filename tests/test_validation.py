@@ -1,0 +1,272 @@
+"""Malformed-input handling under the strict / skip / clamp policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PipelineStats
+from repro.matrix.io import load_transactions, save_transactions
+from repro.matrix.stream import (
+    FileSource,
+    IterableSource,
+    stream_implication_rules,
+)
+from repro.runtime.validation import (
+    VALIDATION_MODES,
+    RowValidationError,
+    RowValidator,
+)
+
+# A transactions file exercising every malformation the ISSUE lists:
+# a garbage token, a negative id, a blank line, duplicate ids within a
+# row, and a truncated final line (no newline, ends mid-token).
+MALFORMED_TEXT = (
+    "#dmc-matrix\n"
+    "#columns 5\n"
+    "0 1 2\n"     # line 3: clean
+    "1 xx 2\n"    # line 4: garbage token
+    "0 -3 1\n"    # line 5: negative id
+    "\n"          # line 6: blank (a legal empty row, never an error)
+    "2 2 4 4\n"   # line 7: duplicate ids (normalized, never an error)
+    "0 1 3."      # line 8: truncated final line, ends mid-token
+)
+
+#: (line, offending token fragment) of the genuinely malformed rows.
+BAD_LINES = ((4, "'xx'"), (5, "-3"), (8, "'3.'"))
+
+
+@pytest.fixture
+def malformed_path(tmp_path) -> str:
+    path = tmp_path / "malformed.txt"
+    path.write_text(MALFORMED_TEXT, encoding="utf-8")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# RowValidator unit behavior.
+# ----------------------------------------------------------------------
+
+
+def test_unknown_mode_is_rejected():
+    with pytest.raises(ValueError):
+        RowValidator("lenient")
+
+
+def test_strict_diagnostic_names_source_and_line():
+    validator = RowValidator("strict")
+    with pytest.raises(RowValidationError) as excinfo:
+        validator.validate_tokens(
+            ["1", "xx"], line_number=7, source="data.txt"
+        )
+    assert "data.txt, line 7" in str(excinfo.value)
+    assert "unparseable token 'xx'" in str(excinfo.value)
+    assert excinfo.value.line_number == 7
+    assert excinfo.value.source == "data.txt"
+
+
+def test_strict_is_a_value_error():
+    with pytest.raises(ValueError):
+        RowValidator("strict").validate_tokens(["-1"])
+
+
+def test_clean_rows_are_normalized_in_every_mode():
+    for mode in VALIDATION_MODES:
+        validator = RowValidator(mode)
+        assert validator.validate_tokens(["2", "0", "2"]) == (0, 2)
+        assert validator.rows_skipped == 0
+        assert validator.rows_clamped == 0
+
+
+def test_skip_counts_each_dropped_row():
+    validator = RowValidator("skip")
+    assert validator.validate_tokens(["xx"]) is None
+    assert validator.validate_row([-1, 0]) is None
+    assert validator.validate_tokens(["1", "2"]) == (1, 2)
+    assert validator.rows_seen == 3
+    assert validator.rows_skipped == 2
+
+
+def test_clamp_repairs_and_counts_tokens():
+    validator = RowValidator("clamp")
+    assert validator.validate_tokens(["1", "xx", "-4", "2"]) == (1, 2)
+    assert validator.rows_clamped == 1
+    assert validator.tokens_dropped == 2
+
+
+def test_max_column_id_bound():
+    validator = RowValidator("skip", max_column_id=5)
+    assert validator.validate_tokens(["1", "9"]) is None
+    with pytest.raises(RowValidationError) as excinfo:
+        RowValidator("strict", max_column_id=5).validate_tokens(["9"])
+    assert "max_column_id=5" in str(excinfo.value)
+
+
+def test_max_row_length_truncates_in_clamp_mode():
+    validator = RowValidator("clamp", max_row_length=2)
+    assert validator.validate_row([3, 1, 2]) == (1, 2)
+    assert validator.rows_clamped == 1
+    assert RowValidator("skip", max_row_length=2).validate_row(
+        [1, 2, 3]
+    ) is None
+
+
+def test_reset_zeroes_counters():
+    validator = RowValidator("skip")
+    validator.validate_tokens(["xx"])
+    validator.reset()
+    assert validator.rows_seen == 0
+    assert validator.rows_skipped == 0
+
+
+# ----------------------------------------------------------------------
+# Malformed files through FileSource / the streaming pipeline.
+# ----------------------------------------------------------------------
+
+
+def test_strict_file_names_the_first_bad_line(malformed_path):
+    source = FileSource(
+        malformed_path, validator=RowValidator("strict")
+    )
+    with pytest.raises(RowValidationError) as excinfo:
+        list(source.iter_rows())
+    first_bad_line, fragment = BAD_LINES[0]
+    assert f"line {first_bad_line}" in str(excinfo.value)
+    assert fragment in str(excinfo.value)
+    assert malformed_path in str(excinfo.value)
+
+
+def test_skip_file_keeps_only_clean_rows(malformed_path):
+    validator = RowValidator("skip")
+    source = FileSource(malformed_path, validator=validator)
+    rows = list(source.iter_rows())
+    # Clean line 3, the legal blank line, and the deduplicated line 7.
+    assert rows == [(0, 1, 2), (), (2, 4)]
+    assert validator.rows_skipped == len(BAD_LINES)
+
+
+def test_clamp_file_salvages_every_row(malformed_path):
+    validator = RowValidator("clamp")
+    source = FileSource(malformed_path, validator=validator)
+    rows = list(source.iter_rows())
+    assert rows == [(0, 1, 2), (1, 2), (0, 1), (), (2, 4), (0, 1)]
+    assert validator.rows_clamped == len(BAD_LINES)
+    assert validator.tokens_dropped == len(BAD_LINES)
+
+
+def test_skip_count_lands_in_scan_stats(malformed_path):
+    stats = PipelineStats()
+    source = FileSource(malformed_path, validator=RowValidator("skip"))
+    stream_implication_rules(source, 0.8, stats=stats)
+    assert stats.hundred_percent_scan.rows_skipped == len(BAD_LINES)
+
+
+def test_clamp_count_lands_in_scan_stats(malformed_path):
+    stats = PipelineStats()
+    source = FileSource(malformed_path, validator=RowValidator("clamp"))
+    stream_implication_rules(source, 0.8, stats=stats)
+    assert stats.hundred_percent_scan.rows_clamped == len(BAD_LINES)
+
+
+def test_without_validator_garbage_raises_plain_value_error(
+    malformed_path,
+):
+    with pytest.raises(ValueError):
+        list(FileSource(malformed_path).iter_rows())
+
+
+def test_validator_on_iterable_source():
+    validator = RowValidator("skip")
+    source = IterableSource(
+        [(0, 1), ("xx",), (2, -1), (1, 2)], validator=validator
+    )
+    assert list(source.iter_rows()) == [(0, 1), (1, 2)]
+    assert validator.rows_skipped == 2
+    with pytest.raises(RowValidationError) as excinfo:
+        list(
+            IterableSource(
+                [(0, 1), ("xx",)], validator=RowValidator("strict")
+            ).iter_rows()
+        )
+    assert "line 2" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Malformed files through load_transactions (in-memory path).
+# ----------------------------------------------------------------------
+
+
+def test_load_transactions_strict_rejects(malformed_path):
+    with pytest.raises(RowValidationError) as excinfo:
+        load_transactions(malformed_path, validator=RowValidator("strict"))
+    assert f"line {BAD_LINES[0][0]}" in str(excinfo.value)
+
+
+def test_load_transactions_skip_and_clamp(malformed_path):
+    validator = RowValidator("skip")
+    matrix = load_transactions(malformed_path, validator=validator)
+    assert matrix.n_rows == 3
+    assert validator.rows_skipped == len(BAD_LINES)
+
+    validator = RowValidator("clamp")
+    matrix = load_transactions(malformed_path, validator=validator)
+    assert matrix.n_rows == 6
+    assert validator.rows_clamped == len(BAD_LINES)
+
+
+def test_load_transactions_validates_labelled_rows(tmp_path):
+    from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
+
+    matrix = BinaryMatrix(
+        [(0, 1), (1, 2)],
+        n_columns=3,
+        vocabulary=Vocabulary(["ham", "spam", "eggs"]),
+    )
+    path = str(tmp_path / "labelled.txt")
+    save_transactions(matrix, path)
+    validator = RowValidator("skip", max_row_length=1)
+    loaded = load_transactions(path, validator=validator)
+    assert loaded.n_rows == 0
+    assert validator.rows_skipped == 2
+
+
+# ----------------------------------------------------------------------
+# CLI surface.
+# ----------------------------------------------------------------------
+
+
+def test_cli_strict_rejects_with_line_number(malformed_path, capsys):
+    from repro.cli import main
+
+    assert (
+        main(["mine-imp", malformed_path, "--validate", "strict"]) == 1
+    )
+    captured = capsys.readouterr()
+    assert "invalid input" in captured.err
+    assert f"line {BAD_LINES[0][0]}" in captured.err
+
+
+def test_cli_skip_reports_dropped_rows(malformed_path, capsys):
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "mine-imp",
+                malformed_path,
+                "--validate",
+                "skip",
+                "--stream",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert f"skipped {len(BAD_LINES)} malformed row(s)" in captured.err
+
+
+def test_cli_clamp_reports_repairs(malformed_path, capsys):
+    from repro.cli import main
+
+    assert main(["mine-sim", malformed_path, "--validate", "clamp"]) == 0
+    captured = capsys.readouterr()
+    assert f"clamped {len(BAD_LINES)} malformed row(s)" in captured.err
