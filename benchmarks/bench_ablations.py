@@ -119,3 +119,11 @@ def test_ablation_hundred_percent_pass_prunes_columns(datasets):
     # Figure 4's point: most columns are low-frequency, so the removal
     # between the passes is substantial.
     assert stats.columns_removed > stats.columns_total / 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

@@ -73,6 +73,41 @@ def test_micro_zero_miss_generic_equivalent(benchmark, workload):
     benchmark.extra_info["rules"] = len(rules)
 
 
+@pytest.fixture(scope="module")
+def overhead_workload():
+    """Smaller matrix so the overhead pair gets many stable rounds."""
+    return random_matrix(1200, 200, density=0.03, seed=2)
+
+
+def test_micro_overhead_no_hooks(benchmark, overhead_workload):
+    """Baseline for the observer-overhead gate: no observer at all."""
+    policy = ImplicationPolicy(overhead_workload.column_ones(), 0.8)
+    rules = benchmark.pedantic(
+        miss_counting_scan,
+        args=(overhead_workload, policy),
+        rounds=15,
+        iterations=1,
+        warmup_rounds=2,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_overhead_null_observer(benchmark, overhead_workload):
+    """Disabled observer must cost one attribute check per row (<5%)."""
+    from repro.observe import NullObserver
+
+    policy = ImplicationPolicy(overhead_workload.column_ones(), 0.8)
+    rules = benchmark.pedantic(
+        miss_counting_scan,
+        args=(overhead_workload, policy),
+        kwargs={"observer": NullObserver()},
+        rounds=15,
+        iterations=1,
+        warmup_rounds=2,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
 def test_micro_bitmap_miss_counting(benchmark):
     """popcount(a & ~b) on packed bitmaps, the Phase-1 primitive."""
     rng = np.random.default_rng(0)
@@ -116,3 +151,11 @@ def test_micro_set_miss_counting(benchmark):
 
     total = benchmark(count_all)
     assert total > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

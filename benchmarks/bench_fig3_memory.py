@@ -47,3 +47,11 @@ def test_fig3_reordering_reduces_peak(datasets):
         )
         peaks[reorder] = stats.peak_bytes
     assert peaks[True] < peaks[False]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

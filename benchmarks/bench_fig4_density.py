@@ -32,3 +32,11 @@ def test_fig4_column_density(benchmark, datasets, name):
     # majority of columns.
     low = sum(count for bucket, count in counts.items() if bucket < 4)
     assert low > sum(counts.values()) / 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

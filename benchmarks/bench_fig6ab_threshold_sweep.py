@@ -57,3 +57,11 @@ def test_fig6ab_time_decreases_with_threshold(datasets, name):
         find_implication_rules(matrix, threshold, options=OPTIONS)
         seconds[threshold] = time.perf_counter() - start
     assert seconds[0.95] <= seconds[0.7] * 1.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

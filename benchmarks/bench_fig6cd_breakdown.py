@@ -56,3 +56,11 @@ def test_fig6cd_hundred_percent_phase_is_threshold_independent(datasets):
     # Same pass either way; allow generous timer noise.
     assert seconds[0.7] < seconds[0.95] * 3
     assert seconds[0.95] < seconds[0.7] * 3
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

@@ -60,3 +60,11 @@ def test_fig6ef_frequency4_columns_cause_the_jump(datasets):
         low.partial_scan.bitmap_phase2_columns
         > high.partial_scan.bitmap_phase2_columns
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

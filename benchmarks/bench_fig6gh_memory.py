@@ -68,3 +68,11 @@ def test_fig6gh_memory_grows_as_threshold_falls(datasets):
         )
         peaks[threshold] = stats.peak_bytes
     assert peaks[0.7] >= peaks[0.9]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

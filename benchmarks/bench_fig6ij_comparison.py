@@ -147,3 +147,11 @@ class TestAgreementAndShape:
         apriori_pair_rules(matrix, THRESHOLD)
         apriori_seconds = time.perf_counter() - start
         assert dmc_seconds < apriori_seconds * 1.2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

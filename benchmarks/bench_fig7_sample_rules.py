@@ -49,3 +49,11 @@ def test_fig7_rule_families_reproduced(datasets):
     # The second hop reaches at least two other Figure 7 antecedents.
     second_hop = set(by_antecedent) - {"polgar"}
     assert len(second_hop & set(CHESS_RULE_FAMILIES)) >= 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

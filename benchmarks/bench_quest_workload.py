@@ -90,3 +90,11 @@ def test_quest_exact_miners_agree(quest):
         quest, THRESHOLD, n_partitions=4
     ).pairs()
     assert dmc == apriori == partitioned
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

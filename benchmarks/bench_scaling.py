@@ -62,3 +62,11 @@ def test_scaling_is_roughly_linear_in_rows():
         find_implication_rules(matrix, 0.8)
         times[n_rows] = time.perf_counter() - start
     assert times[4000] < times[1000] * 16
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

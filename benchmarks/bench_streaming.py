@@ -70,3 +70,11 @@ def test_streaming_results_identical(on_disk):
     in_memory = find_implication_rules(matrix, THRESHOLD)
     streamed = stream_implication_rules(FileSource(path), THRESHOLD)
     assert streamed.pairs() == in_memory.pairs()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

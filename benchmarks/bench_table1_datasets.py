@@ -27,3 +27,11 @@ def test_table1_generate(benchmark, name):
     benchmark.extra_info["columns"] = matrix.n_columns
     benchmark.extra_info["nnz"] = matrix.nnz
     assert matrix.n_rows > 0 and matrix.nnz > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

@@ -1,0 +1,88 @@
+"""Gate on the disabled-observer overhead measured by bench_engine_micro.
+
+Reads a ``BENCH_engine_micro.json`` document (written by
+``python -m benchmarks.bench_engine_micro --json``) and compares the
+``test_micro_overhead_null_observer`` scan against the
+``test_micro_overhead_no_hooks`` baseline.  Exits non-zero when the
+disabled observer costs more than the threshold (default 5%), which is
+the CI benchmark-smoke contract: observability must be free when off.
+
+The comparison uses each benchmark's *minimum* round — the statistic
+least disturbed by scheduler noise — plus a small absolute floor so
+sub-millisecond jitter cannot flip the verdict.
+
+Usage::
+
+    python -m benchmarks.check_overhead BENCH_engine_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+BASELINE = "test_micro_overhead_no_hooks"
+CANDIDATE = "test_micro_overhead_null_observer"
+
+#: Ignore differences below this many seconds regardless of ratio.
+ABSOLUTE_FLOOR_SECONDS = 0.002
+
+
+def _lookup(document: Dict, name: str) -> Dict:
+    for entry in document.get("benchmarks", []):
+        if entry["name"] == name:
+            return entry
+    raise KeyError(
+        f"benchmark {name!r} not found in document "
+        f"(module {document.get('module')!r})"
+    )
+
+
+def check(document: Dict, threshold: float) -> str:
+    """Return a verdict line; raise SystemExit(1) via caller on failure."""
+    baseline = _lookup(document, BASELINE)["min_seconds"]
+    candidate = _lookup(document, CANDIDATE)["min_seconds"]
+    overhead = candidate - baseline
+    ratio = overhead / baseline if baseline > 0 else 0.0
+    verdict = (
+        f"disabled-observer overhead: {overhead * 1000:+.3f}ms "
+        f"({ratio * 100:+.2f}%) on a {baseline * 1000:.3f}ms baseline "
+        f"(threshold {threshold * 100:.0f}%)"
+    )
+    if overhead > ABSOLUTE_FLOOR_SECONDS and ratio > threshold:
+        raise OverheadExceeded(verdict)
+    return verdict
+
+
+class OverheadExceeded(RuntimeError):
+    """The disabled observer slowed the scan past the threshold."""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.check_overhead",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "document", help="path to BENCH_engine_micro.json"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="maximum allowed relative overhead (default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.document, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        verdict = check(document, args.threshold)
+    except OverheadExceeded as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,13 +7,18 @@ deleting a candidate the moment its miss budget is exhausted.
 
 Quickstart::
 
-    from repro import BinaryMatrix, find_implication_rules
+    import repro
 
-    matrix = BinaryMatrix.from_transactions(
-        [["bread", "butter"], ["bread", "butter", "jam"], ["jam"]]
+    result = repro.mine(
+        [["bread", "butter"], ["bread", "butter", "jam"], ["jam"]],
+        minconf=0.9,
     )
-    for rule in find_implication_rules(matrix, minconf=0.9).sorted():
-        print(rule.format(matrix.vocabulary))
+    for rule in result.rules.sorted():
+        print(rule.format(result.vocabulary))
+
+:func:`mine` is the facade over every engine (in-memory, partitioned,
+streaming, memory-budgeted); the per-engine entry points
+(:func:`find_implication_rules` and friends) remain available.
 
 Package layout:
 
@@ -26,8 +31,11 @@ Package layout:
 - :mod:`repro.experiments` — one harness function per table/figure.
 - :mod:`repro.runtime` — fault tolerance for production runs:
   checkpoint/resume, input validation, memory guards, I/O retry.
+- :mod:`repro.observe` — zero-dependency tracing, metrics and progress
+  reporting threaded through every pipeline.
 """
 
+from repro.api import MiningConfig, MiningResult, mine
 from repro.baselines import (
     apriori_frequent_itemsets,
     apriori_pair_rules,
@@ -52,6 +60,14 @@ from repro.core import (
 from repro.datasets import dataset_names, load_dataset
 from repro.matrix import BinaryMatrix, Vocabulary
 from repro.mining import expand_keyword, similarity_components
+from repro.observe import (
+    ConsoleProgress,
+    MetricsRegistry,
+    NullObserver,
+    ProgressObserver,
+    RunObserver,
+    Tracer,
+)
 from repro.runtime import (
     CheckpointStore,
     MemoryBudgetExceeded,
@@ -67,15 +83,23 @@ __all__ = [
     "BinaryMatrix",
     "BitmapConfig",
     "CheckpointStore",
+    "ConsoleProgress",
     "ImplicationRule",
     "MemoryBudgetExceeded",
     "MemoryGuard",
+    "MetricsRegistry",
+    "MiningConfig",
+    "MiningResult",
+    "NullObserver",
     "PipelineStats",
+    "ProgressObserver",
     "PruningOptions",
     "RowValidationError",
     "RowValidator",
     "RuleSet",
+    "RunObserver",
     "SimilarityRule",
+    "Tracer",
     "Vocabulary",
     "__version__",
     "apriori_frequent_itemsets",
@@ -90,6 +114,7 @@ __all__ = [
     "implication_rules_bruteforce",
     "kmin_implication_rules",
     "load_dataset",
+    "mine",
     "mine_with_memory_budget",
     "minhash_similarity_rules",
     "similarity_components",

@@ -1,0 +1,287 @@
+"""The :func:`repro.mine` facade: one call for every DMC pipeline.
+
+The library grew five mining entry points (in-memory DMC-imp/DMC-sim,
+their partitioned variants, the two-pass streaming pipelines) plus the
+memory-budget wrapper, each with its own calling convention.  This
+module unifies them behind a single keyword-only configuration:
+
+    import repro
+
+    matrix = repro.BinaryMatrix.from_transactions(
+        [["bread", "butter"], ["bread", "butter", "jam"], ["jam"]]
+    )
+    result = repro.mine(matrix, minconf=0.9)
+    for rule in result.rules.sorted():
+        print(rule.format(matrix.vocabulary))
+
+:func:`mine` accepts a :class:`BinaryMatrix`, a
+:class:`~repro.matrix.stream.TransactionSource`, a transactions-file
+path, or a plain list of transactions; dispatches on the
+:class:`MiningConfig` to the right engine; and always returns a
+:class:`MiningResult` carrying the rules, the run's
+:class:`~repro.core.stats.PipelineStats` and (when a tracing observer
+watched the run) the finished trace.  The legacy entry points remain
+supported — the facade calls them, so both mine identical rule sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, Optional
+
+from repro.core.dmc_imp import PruningOptions, find_implication_rules
+from repro.core.dmc_sim import find_similarity_rules
+from repro.core.miss_counting import BitmapConfig
+from repro.core.partitioned import (
+    find_implication_rules_partitioned,
+    find_similarity_rules_partitioned,
+)
+from repro.core.rules import RuleSet
+from repro.core.stats import PipelineStats
+from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
+from repro.matrix.stream import (
+    FileSource,
+    TransactionSource,
+    stream_implication_rules,
+    stream_similarity_rules,
+)
+from repro.observe.progress import NULL_OBSERVER
+from repro.runtime.guards import mine_with_memory_budget
+
+#: The two rule kinds of the paper (Sections 4 and 5).
+TASKS = ("implication", "similarity")
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Keyword-only configuration for :func:`mine`.
+
+    Parameters
+    ----------
+    task:
+        ``"implication"`` (confidence rules) or ``"similarity"``.
+    threshold:
+        ``minconf`` / ``minsim`` — a float, :class:`fractions.Fraction`
+        or ``"p/q"`` string in ``(0, 1]``.
+    options:
+        A :class:`~repro.core.dmc_imp.PruningOptions` for the in-memory
+        pipelines (ablation toggles, memory guard).
+    bitmap:
+        Shorthand overriding ``options.bitmap`` — a
+        :class:`~repro.core.miss_counting.BitmapConfig` tuning the
+        DMC-bitmap switch.  Leave ``None`` to keep the options' value
+        (pass ``options=PruningOptions(bitmap=None)`` to disable the
+        switch entirely).
+    partitioned:
+        Use the divide-and-conquer engine (in-memory data only).
+    n_partitions / n_workers:
+        Partitioned-engine tuning (``n_workers > 1`` uses a process
+        pool).
+    memory_budget:
+        Hard counter-array budget in bytes; the DMC attempt degrades to
+        the partitioned engine when exceeded (in-memory data only).
+    spill_dir / checkpoint_dir:
+        Streaming-engine directories (see :mod:`repro.matrix.stream`).
+    observer:
+        Any :class:`~repro.observe.ProgressObserver`; pass a
+        :class:`~repro.observe.RunObserver` to collect a trace and
+        metrics.  :func:`mine` calls ``observer.finish(stats)`` for
+        you.
+    """
+
+    task: str = "implication"
+    threshold: Any = None
+    options: Optional[PruningOptions] = None
+    bitmap: Optional[BitmapConfig] = None
+    partitioned: bool = False
+    n_partitions: int = 4
+    n_workers: Optional[int] = None
+    memory_budget: Optional[int] = None
+    spill_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    observer: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.task not in TASKS:
+            raise ValueError(
+                f"unknown task {self.task!r}; expected one of {TASKS}"
+            )
+        if self.threshold is None:
+            raise ValueError(
+                "a threshold is required (threshold=, minconf= or minsim=)"
+            )
+        if self.partitioned and self.memory_budget is not None:
+            raise ValueError(
+                "partitioned=True and memory_budget= are mutually "
+                "exclusive (a budget already falls back to partitioned)"
+            )
+
+
+@dataclass
+class MiningResult:
+    """What every :func:`mine` call returns.
+
+    ``engine`` names the pipeline that produced the rules: ``"dmc"``,
+    ``"partitioned"`` or ``"stream"``.  ``trace`` is the observer's
+    span tree (the :meth:`repro.observe.Tracer.to_dict` document) when
+    a tracing observer watched the run, else ``None``.  Iterating the
+    result iterates its rules.
+    """
+
+    rules: RuleSet
+    stats: PipelineStats
+    engine: str
+    trace: Optional[Dict[str, Any]] = None
+    vocabulary: Optional[Vocabulary] = None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.rules)
+
+
+def _resolve_config(
+    config: Optional[MiningConfig], overrides: Dict[str, Any]
+) -> MiningConfig:
+    """Build the effective config from a base and/or keyword shorthand."""
+    aliases = {}
+    if "minconf" in overrides:
+        aliases["task"] = "implication"
+        aliases["threshold"] = overrides.pop("minconf")
+    if "minsim" in overrides:
+        if "threshold" in aliases:
+            raise TypeError("pass minconf= or minsim=, not both")
+        aliases["task"] = "similarity"
+        aliases["threshold"] = overrides.pop("minsim")
+    if "task" in overrides and aliases.get("task") not in (
+        None, overrides["task"],
+    ):
+        raise TypeError(
+            f"task={overrides['task']!r} contradicts the "
+            f"{aliases['task']}-threshold alias"
+        )
+    overrides.update(aliases)
+    if config is None:
+        return MiningConfig(**overrides)
+    if overrides:
+        return replace(config, **overrides)
+    return config
+
+
+def _as_input(data):
+    """Normalize ``data`` to a matrix or a streaming source."""
+    if isinstance(data, BinaryMatrix):
+        return data, None
+    if isinstance(data, TransactionSource):
+        return None, data
+    if isinstance(data, str):
+        return None, FileSource(data)
+    try:
+        return BinaryMatrix.from_transactions(data), None
+    except TypeError:
+        raise TypeError(
+            "mine() expects a BinaryMatrix, a TransactionSource, a "
+            f"transactions-file path, or transactions; got {type(data)!r}"
+        ) from None
+
+
+def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
+    """Mine implication or similarity rules with any DMC engine.
+
+    ``data`` may be a :class:`BinaryMatrix`, any
+    :class:`~repro.matrix.stream.TransactionSource`, a path to a
+    transactions text file (mined by the two-pass streaming pipeline),
+    or an iterable of label transactions (converted via
+    :meth:`BinaryMatrix.from_transactions`).
+
+    Configuration comes from ``config`` and/or keyword shorthand —
+    every :class:`MiningConfig` field is accepted as a keyword, plus
+    the ``minconf=`` / ``minsim=`` aliases that set the task and the
+    threshold together.  Returns a :class:`MiningResult`; the mined
+    rules are identical to the corresponding legacy entry point's.
+    """
+    config = _resolve_config(config, kwargs)
+    matrix, source = _as_input(data)
+    observer = (
+        config.observer if config.observer is not None else NULL_OBSERVER
+    )
+    stats = PipelineStats()
+    options = config.options if config.options is not None else PruningOptions()
+    if config.bitmap is not None:
+        options = replace(options, bitmap=config.bitmap)
+
+    if matrix is None:
+        if config.partitioned or config.memory_budget is not None:
+            raise ValueError(
+                "partitioned/memory-budget mining needs in-memory data; "
+                "load the source into a BinaryMatrix first"
+            )
+        streamer = (
+            stream_implication_rules
+            if config.task == "implication"
+            else stream_similarity_rules
+        )
+        rules = streamer(
+            source,
+            config.threshold,
+            bitmap=options.bitmap,
+            spill_dir=config.spill_dir,
+            checkpoint_dir=config.checkpoint_dir,
+            guard=options.memory_guard,
+            stats=stats,
+            observer=observer,
+        )
+        engine = "stream"
+    elif config.memory_budget is not None:
+        rules, engine = mine_with_memory_budget(
+            matrix,
+            config.threshold,
+            kind=config.task,
+            budget_bytes=config.memory_budget,
+            n_partitions=config.n_partitions,
+            n_workers=config.n_workers,
+            stats=stats,
+            observer=observer,
+        )
+    elif config.partitioned:
+        partitioner = (
+            find_implication_rules_partitioned
+            if config.task == "implication"
+            else find_similarity_rules_partitioned
+        )
+        rules = partitioner(
+            matrix,
+            config.threshold,
+            n_partitions=config.n_partitions,
+            n_workers=config.n_workers,
+            stats=stats,
+            observer=observer,
+        )
+        engine = "partitioned"
+    else:
+        miner = (
+            find_implication_rules
+            if config.task == "implication"
+            else find_similarity_rules
+        )
+        rules = miner(
+            matrix,
+            config.threshold,
+            options=options,
+            stats=stats,
+            observer=observer,
+        )
+        engine = "dmc"
+
+    observer.finish(stats=stats, guard=options.memory_guard)
+    tracer = getattr(observer, "tracer", None)
+    trace = tracer.to_dict() if tracer is not None else None
+    vocabulary = matrix.vocabulary if matrix is not None else None
+    return MiningResult(
+        rules=rules,
+        stats=stats,
+        engine=engine,
+        trace=trace,
+        vocabulary=vocabulary,
+    )

@@ -105,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="persist pass-1 state in DIR and resume pass 2 from it "
                  "after a crash (implies --stream)",
         )
+        sub.add_argument(
+            "--metrics", metavar="PATH", default=None,
+            help="write run metrics to PATH (JSON, or Prometheus text "
+                 "when PATH ends in .prom/.txt)",
+        )
+        sub.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write the run's span trace to PATH as JSON",
+        )
+        sub.add_argument(
+            "--progress", action="store_true",
+            help="print live progress lines to stderr",
+        )
 
     mine_topk = subparsers.add_parser(
         "mine-topk",
@@ -164,22 +177,30 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _mine_streaming(args: argparse.Namespace, validator) -> "RuleSet":
-    """Run mine-imp / mine-sim through the two-pass streaming runtime."""
-    from repro.matrix.stream import (
-        FileSource,
-        stream_implication_rules,
-        stream_similarity_rules,
-    )
+def _build_observer(args: argparse.Namespace):
+    """The observer implied by --metrics/--trace/--progress (or None)."""
+    from repro.observe import ConsoleProgress, RunObserver
 
-    source = FileSource(args.path, validator=validator)
-    if args.command == "mine-imp":
-        return stream_implication_rules(
-            source, args.minconf, checkpoint_dir=args.checkpoint
-        )
-    return stream_similarity_rules(
-        source, args.minsim, checkpoint_dir=args.checkpoint
+    progress = (
+        ConsoleProgress() if getattr(args, "progress", False) else None
     )
+    if getattr(args, "metrics", None) or getattr(args, "trace", None):
+        return RunObserver(progress=progress)
+    return progress
+
+
+def _export_observations(args: argparse.Namespace, observer) -> None:
+    """Write the --metrics/--trace files after a successful run."""
+    from repro.observe import RunObserver, write_metrics, write_trace
+
+    if not isinstance(observer, RunObserver):
+        return
+    if getattr(args, "metrics", None):
+        fmt = write_metrics(observer.metrics, args.metrics)
+        print(f"wrote metrics ({fmt}) to {args.metrics}", file=sys.stderr)
+    if getattr(args, "trace", None):
+        write_trace(observer.tracer, args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
 
 
 def _mine(args: argparse.Namespace) -> int:
@@ -191,32 +212,48 @@ def _mine(args: argparse.Namespace) -> int:
     use_stream = bool(
         getattr(args, "stream", False) or getattr(args, "checkpoint", None)
     )
+    observer = _build_observer(args)
 
     vocabulary = None
     try:
-        if use_stream:
-            rules = _mine_streaming(args, validator)
-        else:
-            from repro.core.dmc_imp import find_implication_rules
-            from repro.core.dmc_sim import find_similarity_rules
+        if args.command == "mine-topk":
+            from repro.core.topk import top_k_implication_rules
             from repro.matrix.io import load_transactions
 
             matrix = load_transactions(args.path, validator=validator)
             vocabulary = matrix.vocabulary
-            if args.command == "mine-imp":
-                rules = find_implication_rules(matrix, args.minconf)
-            elif args.command == "mine-topk":
-                from repro.core.topk import top_k_implication_rules
+            rules, cut = top_k_implication_rules(matrix, args.k)
+        else:
+            from repro.api import mine
 
-                rules, cut = top_k_implication_rules(matrix, args.k)
+            if use_stream:
+                from repro.matrix.stream import FileSource
+
+                data = FileSource(args.path, validator=validator)
             else:
-                rules = find_similarity_rules(matrix, args.minsim)
+                from repro.matrix.io import load_transactions
+
+                data = load_transactions(args.path, validator=validator)
+                vocabulary = data.vocabulary
+            threshold = (
+                {"minconf": args.minconf}
+                if args.command == "mine-imp"
+                else {"minsim": args.minsim}
+            )
+            result = mine(
+                data,
+                checkpoint_dir=getattr(args, "checkpoint", None),
+                observer=observer,
+                **threshold,
+            )
+            rules = result.rules
     except RowValidationError as error:
         print(f"invalid input: {error}", file=sys.stderr)
         return 1
     except (OSError, ValueError) as error:
         print(f"cannot read {args.path}: {error}", file=sys.stderr)
         return 1
+    _export_observations(args, observer)
 
     if args.command == "mine-imp":
         kind = f"implication rules at minconf={args.minconf}"

@@ -37,6 +37,7 @@ from repro.core.policies import PairPolicy
 from repro.core.rules import RuleSet
 from repro.core.stats import ScanStats
 from repro.matrix.ops import pack_rows
+from repro.observe.progress import NULL_OBSERVER
 
 
 def bitmap_tail(
@@ -46,67 +47,83 @@ def bitmap_tail(
     cand: CandidateArray,
     rules: RuleSet,
     stats: ScanStats,
+    observer=None,
 ) -> None:
     """Finish a miss-counting scan over ``remaining_rows`` using bitmaps.
 
     ``count`` holds ``cnt(c_j)`` as of the switch point; ``cand`` holds
     the live candidate lists.  Mined rules are appended to ``rules`` and
-    the tail's measurements recorded on ``stats``.
+    the tail's measurements recorded on ``stats``.  An optional
+    ``observer`` gets a span per tail phase; new candidates discovered
+    during Phase 2 and candidates rejected by the final validity test
+    are counted on ``stats`` so the added/deleted/emitted accounting
+    stays exact across the switch.
     """
+    if observer is None:
+        observer = NULL_OBSERVER
     started = time.perf_counter()
     bitmaps = pack_rows(remaining_rows)
     stats.bitmap_bytes = bitmaps.memory_bytes()
     ones = policy.ones
 
     # Phase 1: closed columns — bitmap miss counting per candidate.
-    for column_j in list(cand.open_columns()):
-        if count[column_j] <= policy.add_cutoff(column_j):
-            continue
-        stats.bitmap_phase1_columns += 1
-        for candidate_k, misses in cand.items(column_j):
-            final_misses = misses + bitmaps.misses(column_j, candidate_k)
-            rule = policy.make_rule(column_j, candidate_k, final_misses)
-            if rule is not None:
-                rules.add(rule)
-                stats.rules_emitted += 1
-        cand.release(column_j)
+    with observer.span("bitmap-phase1"):
+        for column_j in list(cand.open_columns()):
+            if count[column_j] <= policy.add_cutoff(column_j):
+                continue
+            stats.bitmap_phase1_columns += 1
+            for candidate_k, misses in cand.items(column_j):
+                final_misses = misses + bitmaps.misses(
+                    column_j, candidate_k
+                )
+                rule = policy.make_rule(column_j, candidate_k, final_misses)
+                if rule is not None:
+                    rules.add(rule)
+                    stats.rules_emitted += 1
+                else:
+                    stats.candidates_rejected += 1
+            cand.release(column_j)
 
     # Phase 2: open columns — row-driven hit counting.
-    hits_by_column: Dict[int, Dict[int, int]] = {}
-    for column_j in list(cand.open_columns()):
-        hits_by_column[column_j] = {
-            candidate_k: count[column_j] - misses
-            for candidate_k, misses in cand.items(column_j)
-        }
-        cand.release(column_j)
+    with observer.span("bitmap-phase2"):
+        hits_by_column: Dict[int, Dict[int, int]] = {}
+        for column_j in list(cand.open_columns()):
+            hits_by_column[column_j] = {
+                candidate_k: count[column_j] - misses
+                for candidate_k, misses in cand.items(column_j)
+            }
+            cand.release(column_j)
 
-    for _, row in remaining_rows:
-        for column_j in row:
-            hits = hits_by_column.get(column_j)
-            if hits is None:
-                if count[column_j] > policy.add_cutoff(column_j):
-                    continue
-                # First occurrence of c_j lies in the remaining rows.
-                hits = {}
-                hits_by_column[column_j] = hits
-            for candidate_k in row:
-                if candidate_k == column_j:
-                    continue
-                existing = hits.get(candidate_k)
-                if existing is None:
-                    if not policy.eligible(column_j, candidate_k):
+        for _, row in remaining_rows:
+            for column_j in row:
+                hits = hits_by_column.get(column_j)
+                if hits is None:
+                    if count[column_j] > policy.add_cutoff(column_j):
                         continue
-                    hits[candidate_k] = 1
-                else:
-                    hits[candidate_k] = existing + 1
+                    # First occurrence of c_j lies in the remaining rows.
+                    hits = {}
+                    hits_by_column[column_j] = hits
+                for candidate_k in row:
+                    if candidate_k == column_j:
+                        continue
+                    existing = hits.get(candidate_k)
+                    if existing is None:
+                        if not policy.eligible(column_j, candidate_k):
+                            continue
+                        hits[candidate_k] = 1
+                        stats.candidates_added += 1
+                    else:
+                        hits[candidate_k] = existing + 1
 
-    stats.bitmap_phase2_columns = len(hits_by_column)
-    for column_j, hits in hits_by_column.items():
-        for candidate_k, hit_count in hits.items():
-            final_misses = ones[column_j] - hit_count
-            rule = policy.make_rule(column_j, candidate_k, final_misses)
-            if rule is not None:
-                rules.add(rule)
-                stats.rules_emitted += 1
+        stats.bitmap_phase2_columns = len(hits_by_column)
+        for column_j, hits in hits_by_column.items():
+            for candidate_k, hit_count in hits.items():
+                final_misses = ones[column_j] - hit_count
+                rule = policy.make_rule(column_j, candidate_k, final_misses)
+                if rule is not None:
+                    rules.add(rule)
+                    stats.rules_emitted += 1
+                else:
+                    stats.candidates_rejected += 1
 
     stats.bitmap_seconds += time.perf_counter() - started

@@ -30,6 +30,7 @@ from repro.core.stats import PipelineStats
 from repro.core.thresholds import as_fraction, confidence_removal_cutoff
 from repro.matrix.binary_matrix import BinaryMatrix
 from repro.matrix.reorder import scan_order
+from repro.observe.progress import NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -65,20 +66,26 @@ def find_implication_rules(
     minconf,
     options: Optional[PruningOptions] = None,
     stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Mine every canonical rule with confidence ``>= minconf``.
 
     This is the library's primary implication-mining entry point.  The
     result is exact: no false positives, no false negatives (within the
-    paper's canonical-direction convention, Section 2).
+    paper's canonical-direction convention, Section 2).  ``observer``
+    (a :class:`repro.observe.RunObserver` or any
+    :class:`repro.observe.ProgressObserver`) watches phases, rows and
+    the bitmap switch; it never changes the mined rules.
     """
     minconf = as_fraction(minconf)
     if options is None:
         options = PruningOptions()
     if stats is None:
         stats = PipelineStats()
+    if observer is None:
+        observer = NULL_OBSERVER
 
-    with stats.timer.phase("pre-scan"):
+    with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
         ones = matrix.column_ones()
         order = scan_order(matrix, sparsest_first=options.row_reordering)
         stats.columns_total = matrix.n_columns
@@ -87,7 +94,7 @@ def find_implication_rules(
 
     if not options.hundred_percent_pass:
         # Ablation: one combined pass over the full matrix.
-        with stats.timer.phase("combined"):
+        with stats.timer.phase("combined"), observer.phase("combined"):
             policy = ImplicationPolicy(ones, minconf)
             miss_counting_scan(
                 matrix,
@@ -97,11 +104,12 @@ def find_implication_rules(
                 bitmap=options.bitmap,
                 rules=rules,
                 guard=options.memory_guard,
+                observer=observer,
             )
         stats.rules_partial = len(rules)
         return rules
 
-    with stats.timer.phase("100%-rules"):
+    with stats.timer.phase("100%-rules"), observer.phase("100%-rules"):
         zero_miss_scan(
             matrix,
             HundredPercentPolicy(ones),
@@ -110,13 +118,14 @@ def find_implication_rules(
             bitmap=options.bitmap,
             rules=rules,
             guard=options.memory_guard,
+            observer=observer,
         )
         stats.rules_hundred_percent = len(rules)
 
     if minconf == 1:
         return rules
 
-    with stats.timer.phase("<100%-rules"):
+    with stats.timer.phase("<100%-rules"), observer.phase("<100%-rules"):
         cutoff = confidence_removal_cutoff(minconf)
         keep = [c for c in range(matrix.n_columns) if ones[c] > cutoff]
         stats.columns_removed = matrix.n_columns - len(keep)
@@ -133,6 +142,7 @@ def find_implication_rules(
             bitmap=options.bitmap,
             rules=rules,
             guard=options.memory_guard,
+            observer=observer,
         )
         stats.rules_partial = len(rules) - stats.rules_hundred_percent
 

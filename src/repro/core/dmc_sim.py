@@ -26,6 +26,7 @@ from repro.core.stats import PipelineStats
 from repro.core.thresholds import as_fraction, similarity_removal_cutoff
 from repro.matrix.binary_matrix import BinaryMatrix
 from repro.matrix.reorder import scan_order
+from repro.observe.progress import NULL_OBSERVER
 
 
 def find_similarity_rules(
@@ -33,19 +34,24 @@ def find_similarity_rules(
     minsim,
     options: Optional[PruningOptions] = None,
     stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Mine every column pair with similarity ``>= minsim``.
 
     This is the library's primary similarity-mining entry point.  The
     result is exact: no false positives, no false negatives.
+    ``observer`` behaves as in
+    :func:`repro.core.dmc_imp.find_implication_rules`.
     """
     minsim = as_fraction(minsim)
     if options is None:
         options = PruningOptions()
     if stats is None:
         stats = PipelineStats()
+    if observer is None:
+        observer = NULL_OBSERVER
 
-    with stats.timer.phase("pre-scan"):
+    with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
         ones = matrix.column_ones()
         order = scan_order(matrix, sparsest_first=options.row_reordering)
         stats.columns_total = matrix.n_columns
@@ -53,7 +59,7 @@ def find_similarity_rules(
     rules = RuleSet()
 
     if not options.hundred_percent_pass:
-        with stats.timer.phase("combined"):
+        with stats.timer.phase("combined"), observer.phase("combined"):
             policy = SimilarityPolicy(
                 ones,
                 minsim,
@@ -68,11 +74,12 @@ def find_similarity_rules(
                 bitmap=options.bitmap,
                 rules=rules,
                 guard=options.memory_guard,
+                observer=observer,
             )
         stats.rules_partial = len(rules)
         return rules
 
-    with stats.timer.phase("100%-rules"):
+    with stats.timer.phase("100%-rules"), observer.phase("100%-rules"):
         zero_miss_scan(
             matrix,
             IdentityPolicy(ones),
@@ -81,13 +88,14 @@ def find_similarity_rules(
             bitmap=options.bitmap,
             rules=rules,
             guard=options.memory_guard,
+            observer=observer,
         )
         stats.rules_hundred_percent = len(rules)
 
     if minsim == 1:
         return rules
 
-    with stats.timer.phase("<100%-rules"):
+    with stats.timer.phase("<100%-rules"), observer.phase("<100%-rules"):
         cutoff = similarity_removal_cutoff(minsim)
         keep = [c for c in range(matrix.n_columns) if ones[c] > cutoff]
         stats.columns_removed = matrix.n_columns - len(keep)
@@ -109,6 +117,7 @@ def find_similarity_rules(
             bitmap=options.bitmap,
             rules=rules,
             guard=options.memory_guard,
+            observer=observer,
         )
         stats.rules_partial = len(rules) - stats.rules_hundred_percent
 

@@ -37,6 +37,7 @@ from repro.core.policies import PairPolicy
 from repro.core.rules import RuleSet
 from repro.core.stats import ScanStats
 from repro.matrix.binary_matrix import BinaryMatrix
+from repro.observe.progress import NULL_OBSERVER
 
 #: Bytes charged per id-only candidate entry in the zero-miss scan.
 BYTES_PER_ID = 4
@@ -60,6 +61,28 @@ def _default_order(matrix: BinaryMatrix) -> List[int]:
     return [row_id for row_id, row in matrix.iter_rows() if row]
 
 
+def _memory_listener(guard, observer):
+    """Compose the counter array's growth callback from guard+observer.
+
+    Both want to see between-row memory spikes; neither must cost
+    anything when absent.
+    """
+    if guard is not None and observer.enabled:
+        guard_observe = guard.observe
+        observer_observe = observer.observe_memory
+
+        def listen(memory_bytes: int) -> None:
+            guard_observe(memory_bytes)
+            observer_observe(memory_bytes)
+
+        return listen
+    if guard is not None:
+        return guard.observe
+    if observer.enabled:
+        return observer.observe_memory
+    return None
+
+
 def miss_counting_scan(
     matrix: BinaryMatrix,
     policy: PairPolicy,
@@ -68,6 +91,7 @@ def miss_counting_scan(
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
     guard=None,
+    observer=None,
 ) -> RuleSet:
     """Run one DMC-base scan over an in-memory matrix.
 
@@ -90,6 +114,10 @@ def miss_counting_scan(
     guard:
         Optional :class:`repro.runtime.guards.MemoryGuard` enforcing a
         hard budget on the counter array at every row.
+    observer:
+        Optional :class:`repro.observe.ProgressObserver` /
+        :class:`repro.observe.RunObserver`; when disabled (the
+        default) the loop pays one attribute check per row.
     """
     if len(policy.ones) != matrix.n_columns:
         raise ValueError(
@@ -101,7 +129,7 @@ def miss_counting_scan(
     rows = ((row_id, matrix.row(row_id)) for row_id in order)
     return miss_counting_scan_rows(
         rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules,
-        guard=guard,
+        guard=guard, observer=observer,
     )
 
 
@@ -113,6 +141,7 @@ def miss_counting_scan_rows(
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
     guard=None,
+    observer=None,
 ) -> RuleSet:
     """Run one DMC-base scan over a row stream (Algorithm 3.1).
 
@@ -136,21 +165,29 @@ def miss_counting_scan_rows(
         stats = ScanStats()
     if rules is None:
         rules = RuleSet()
+    if observer is None:
+        observer = NULL_OBSERVER
     started = time.perf_counter()
 
     ones = policy.ones
     count = [0] * len(ones)
-    cand = CandidateArray(
-        on_memory=guard.observe if guard is not None else None
-    )
+    cand = CandidateArray(on_memory=_memory_listener(guard, observer))
     rows = iter(rows)
 
     for position in range(n_rows):
         if bitmap is not None and n_rows - position <= bitmap.switch_rows:
             if cand.memory_bytes() > bitmap.memory_budget_bytes:
                 stats.bitmap_switch_at = position
+                if observer.enabled:
+                    observer.on_bitmap_switch(position)
                 remaining = list(rows)
-                bitmap_tail(remaining, policy, count, cand, rules, stats)
+                with observer.span(
+                    "bitmap-tail", rows_remaining=len(remaining)
+                ):
+                    bitmap_tail(
+                        remaining, policy, count, cand, rules, stats,
+                        observer=observer,
+                    )
                 stats.scan_seconds += time.perf_counter() - started
                 return rules
         if guard is not None and position and guard.tripping(
@@ -158,8 +195,18 @@ def miss_counting_scan_rows(
         ):
             stats.guard_tripped_at = position
             stats.bitmap_switch_at = position
+            if observer.enabled:
+                observer.on_guard_trip(position)
+                observer.on_bitmap_switch(position)
             remaining = list(rows)
-            bitmap_tail(remaining, policy, count, cand, rules, stats)
+            with observer.span(
+                "bitmap-tail", rows_remaining=len(remaining),
+                guard_tripped=True,
+            ):
+                bitmap_tail(
+                    remaining, policy, count, cand, rules, stats,
+                    observer=observer,
+                )
             stats.scan_seconds += time.perf_counter() - started
             return rules
 
@@ -184,6 +231,7 @@ def miss_counting_scan_rows(
             # with a post-row miss total would double-count this row
             # and prune valid pairs.
             to_delete = []
+            deleted_budget = 0
             for candidate_k, misses in cand_j.items():
                 if candidate_k in row_set:
                     if policy.dynamic_prune(
@@ -193,9 +241,10 @@ def miss_counting_scan_rows(
                         to_delete.append(candidate_k)
                     continue
                 misses += 1
-                if misses > policy.pair_budget(
-                    column_j, candidate_k
-                ) or policy.dynamic_prune(
+                if misses > policy.pair_budget(column_j, candidate_k):
+                    to_delete.append(candidate_k)
+                    deleted_budget += 1
+                elif policy.dynamic_prune(
                     column_j, candidate_k, count_j + 1, misses,
                     count[candidate_k],
                 ):
@@ -205,6 +254,10 @@ def miss_counting_scan_rows(
             for candidate_k in to_delete:
                 cand.remove(column_j, candidate_k)
             stats.candidates_deleted += len(to_delete)
+            stats.candidates_deleted_budget += deleted_budget
+            stats.candidates_deleted_dynamic += (
+                len(to_delete) - deleted_budget
+            )
 
             if may_add:
                 for candidate_k in row:
@@ -230,9 +283,15 @@ def miss_counting_scan_rows(
                     if rule is not None:
                         rules.add(rule)
                         stats.rules_emitted += 1
+                    else:
+                        stats.candidates_rejected += 1
                 cand.release(column_j)
 
-        stats.record_row(cand.total_entries, cand.memory_bytes())
+        entries = cand.total_entries
+        memory = cand.memory_bytes()
+        stats.record_row(entries, memory)
+        if observer.enabled:
+            observer.on_row(position, n_rows, entries, memory)
 
     stats.scan_seconds += time.perf_counter() - started
     return rules
@@ -246,6 +305,7 @@ def zero_miss_scan(
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
     guard=None,
+    observer=None,
 ) -> RuleSet:
     """Section 4.3 fast path for policies whose budgets are all zero.
 
@@ -265,7 +325,7 @@ def zero_miss_scan(
     rows = ((row_id, matrix.row(row_id)) for row_id in order)
     return zero_miss_scan_rows(
         rows, len(order), policy, stats=stats, bitmap=bitmap, rules=rules,
-        guard=guard,
+        guard=guard, observer=observer,
     )
 
 
@@ -277,12 +337,15 @@ def zero_miss_scan_rows(
     bitmap: Optional[BitmapConfig] = None,
     rules: Optional[RuleSet] = None,
     guard=None,
+    observer=None,
 ) -> RuleSet:
     """Streaming core of :func:`zero_miss_scan` (see there)."""
     if stats is None:
         stats = ScanStats()
     if rules is None:
         rules = RuleSet()
+    if observer is None:
+        observer = NULL_OBSERVER
     started = time.perf_counter()
 
     ones = policy.ones
@@ -298,13 +361,21 @@ def zero_miss_scan_rows(
             for candidate_k in candidates:
                 cand.add(column_j, candidate_k, 0)
         remaining = list(rows)
-        bitmap_tail(remaining, policy, count, cand, rules, stats)
+        with observer.span(
+            "bitmap-tail", rows_remaining=len(remaining)
+        ):
+            bitmap_tail(
+                remaining, policy, count, cand, rules, stats,
+                observer=observer,
+            )
 
     for position in range(n_rows):
         memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
         if bitmap is not None and n_rows - position <= bitmap.switch_rows:
             if memory > bitmap.memory_budget_bytes:
                 stats.bitmap_switch_at = position
+                if observer.enabled:
+                    observer.on_bitmap_switch(position)
                 hand_over_to_bitmap_tail()
                 stats.scan_seconds += time.perf_counter() - started
                 return rules
@@ -313,6 +384,9 @@ def zero_miss_scan_rows(
         ):
             stats.guard_tripped_at = position
             stats.bitmap_switch_at = position
+            if observer.enabled:
+                observer.on_guard_trip(position)
+                observer.on_bitmap_switch(position)
             hand_over_to_bitmap_tail()
             stats.scan_seconds += time.perf_counter() - started
             return rules
@@ -342,6 +416,7 @@ def zero_miss_scan_rows(
                         lists[column_j] = survivors
                         entries -= dropped
                         stats.candidates_deleted += dropped
+                        stats.candidates_deleted_budget += dropped
 
         for column_j in row:
             count[column_j] += 1
@@ -354,9 +429,13 @@ def zero_miss_scan_rows(
                         if rule is not None:
                             rules.add(rule)
                             stats.rules_emitted += 1
+                        else:
+                            stats.candidates_rejected += 1
 
         memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
         stats.record_row(entries, memory)
+        if observer.enabled:
+            observer.on_row(position, n_rows, entries, memory)
 
     stats.scan_seconds += time.perf_counter() - started
     return rules

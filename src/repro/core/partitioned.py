@@ -21,6 +21,7 @@ global canonical direction.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Set, Tuple
 
 from repro.core.miss_counting import miss_counting_scan
@@ -31,6 +32,7 @@ from repro.core.rules import (
     SimilarityRule,
     canonical_before,
 )
+from repro.core.stats import PipelineStats
 from repro.core.thresholds import (
     as_fraction,
     confidence_holds,
@@ -38,6 +40,7 @@ from repro.core.thresholds import (
 )
 from repro.matrix.binary_matrix import BinaryMatrix
 from repro.matrix.reorder import scan_order
+from repro.observe.progress import NULL_OBSERVER
 
 
 class _AllPairsImplicationPolicy(ImplicationPolicy):
@@ -49,6 +52,31 @@ class _AllPairsImplicationPolicy(ImplicationPolicy):
 
     def eligible(self, column_j: int, candidate_k: int) -> bool:
         return column_j != candidate_k
+
+
+def _resolve_logs(
+    candidate_log: Optional[List[int]],
+    stats: Optional[PipelineStats],
+) -> List[List[int]]:
+    """The per-partition candidate-count sinks for this run.
+
+    ``candidate_log=`` is the pre-observability spelling and still
+    works, with a :class:`DeprecationWarning`; the counts always land
+    on ``stats.partition_candidates`` as well when ``stats`` is given.
+    """
+    if candidate_log is not None:
+        warnings.warn(
+            "candidate_log= is deprecated; pass stats=PipelineStats() "
+            "and read stats.partition_candidates instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    sinks: List[List[int]] = []
+    if candidate_log is not None:
+        sinks.append(candidate_log)
+    if stats is not None:
+        sinks.append(stats.partition_candidates)
+    return sinks
 
 
 def _partition_rows(matrix: BinaryMatrix, n_partitions: int) -> List[List[int]]:
@@ -88,7 +116,7 @@ def _local_candidates(
     n_partitions: int,
     kind: str,
     n_workers: Optional[int],
-    candidate_log: Optional[List[int]],
+    sinks: List[List[int]],
 ) -> Set[Tuple[int, int]]:
     """Mine every partition (serially or in a process pool) and union
     the locally-valid pairs."""
@@ -113,8 +141,8 @@ def _local_candidates(
     for chunk_pairs in per_chunk:
         before = len(candidates)
         candidates.update(chunk_pairs)
-        if candidate_log is not None:
-            candidate_log.append(len(candidates) - before)
+        for sink in sinks:
+            sink.append(len(candidates) - before)
     return candidates
 
 
@@ -124,41 +152,58 @@ def find_implication_rules_partitioned(
     n_partitions: int = 4,
     candidate_log: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
+    stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Mine implication rules by partitioned candidate generation.
 
     Produces exactly the rules of
-    :func:`repro.core.dmc_imp.find_implication_rules`.  If
-    ``candidate_log`` is given, the number of candidate pairs from each
-    partition is appended to it (for the scalability benchmarks); with
-    ``n_workers > 1`` partitions are mined in a process pool.
+    :func:`repro.core.dmc_imp.find_implication_rules`.  Per-partition
+    candidate counts land on ``stats.partition_candidates`` (and on the
+    deprecated ``candidate_log`` list if given); with ``n_workers > 1``
+    partitions are mined in a process pool.  ``observer`` sees a
+    ``partition-mining`` and a ``verify-candidates`` phase.
     """
     minconf = as_fraction(minconf)
-    candidates = _local_candidates(
-        matrix, minconf, n_partitions, "implication", n_workers,
-        candidate_log,
-    )
+    sinks = _resolve_logs(candidate_log, stats)
+    if stats is None:
+        stats = PipelineStats()
+    if observer is None:
+        observer = NULL_OBSERVER
+    stats.columns_total = matrix.n_columns
+
+    with stats.timer.phase("partition-mining"), observer.phase(
+        "partition-mining"
+    ):
+        candidates = _local_candidates(
+            matrix, minconf, n_partitions, "implication", n_workers,
+            sinks,
+        )
 
     from repro.baselines.bruteforce import pairwise_intersections
 
-    ones = matrix.column_ones()
-    intersections = pairwise_intersections(matrix, candidates)
-    rules = RuleSet()
-    for low, high in candidates:
-        if canonical_before(ones[low], low, ones[high], high):
-            antecedent, consequent = low, high
-        else:
-            antecedent, consequent = high, low
-        hits = intersections[(low, high)]
-        if confidence_holds(hits, int(ones[antecedent]), minconf):
-            rules.add(
-                ImplicationRule(
-                    antecedent=antecedent,
-                    consequent=consequent,
-                    hits=hits,
-                    ones=int(ones[antecedent]),
+    with stats.timer.phase("verify-candidates"), observer.phase(
+        "verify-candidates"
+    ):
+        ones = matrix.column_ones()
+        intersections = pairwise_intersections(matrix, candidates)
+        rules = RuleSet()
+        for low, high in candidates:
+            if canonical_before(ones[low], low, ones[high], high):
+                antecedent, consequent = low, high
+            else:
+                antecedent, consequent = high, low
+            hits = intersections[(low, high)]
+            if confidence_holds(hits, int(ones[antecedent]), minconf):
+                rules.add(
+                    ImplicationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        hits=hits,
+                        ones=int(ones[antecedent]),
+                    )
                 )
-            )
+    stats.rules_partial = len(rules)
     return rules
 
 
@@ -168,37 +213,55 @@ def find_similarity_rules_partitioned(
     n_partitions: int = 4,
     candidate_log: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
+    stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Mine similarity rules by partitioned candidate generation.
 
     Produces exactly the rules of
-    :func:`repro.core.dmc_sim.find_similarity_rules`.
+    :func:`repro.core.dmc_sim.find_similarity_rules`.  ``stats``,
+    ``candidate_log`` and ``observer`` behave as in
+    :func:`find_implication_rules_partitioned`.
     """
     minsim = as_fraction(minsim)
-    candidates = _local_candidates(
-        matrix, minsim, n_partitions, "similarity", n_workers,
-        candidate_log,
-    )
+    sinks = _resolve_logs(candidate_log, stats)
+    if stats is None:
+        stats = PipelineStats()
+    if observer is None:
+        observer = NULL_OBSERVER
+    stats.columns_total = matrix.n_columns
+
+    with stats.timer.phase("partition-mining"), observer.phase(
+        "partition-mining"
+    ):
+        candidates = _local_candidates(
+            matrix, minsim, n_partitions, "similarity", n_workers,
+            sinks,
+        )
 
     from repro.baselines.bruteforce import pairwise_intersections
 
-    ones = matrix.column_ones()
-    intersections = pairwise_intersections(matrix, candidates)
-    rules = RuleSet()
-    for low, high in candidates:
-        intersection = intersections[(low, high)]
-        union = int(ones[low]) + int(ones[high]) - intersection
-        if similarity_holds(intersection, union, minsim):
-            if canonical_before(ones[low], low, ones[high], high):
-                first, second = low, high
-            else:
-                first, second = high, low
-            rules.add(
-                SimilarityRule(
-                    first=first,
-                    second=second,
-                    intersection=intersection,
-                    union=union,
+    with stats.timer.phase("verify-candidates"), observer.phase(
+        "verify-candidates"
+    ):
+        ones = matrix.column_ones()
+        intersections = pairwise_intersections(matrix, candidates)
+        rules = RuleSet()
+        for low, high in candidates:
+            intersection = intersections[(low, high)]
+            union = int(ones[low]) + int(ones[high]) - intersection
+            if similarity_holds(intersection, union, minsim):
+                if canonical_before(ones[low], low, ones[high], high):
+                    first, second = low, high
+                else:
+                    first, second = high, low
+                rules.add(
+                    SimilarityRule(
+                        first=first,
+                        second=second,
+                        intersection=intersection,
+                        union=union,
+                    )
                 )
-            )
+    stats.rules_partial = len(rules)
     return rules

@@ -32,6 +32,14 @@ class ScanStats:
     rows_scanned: int = 0
     candidates_added: int = 0
     candidates_deleted: int = 0
+    #: Deletions caused by an exhausted pair miss budget (includes the
+    #: 100%-rule pass, whose budget is zero).
+    candidates_deleted_budget: int = 0
+    #: Deletions caused by the dynamic confidence/similarity prune.
+    candidates_deleted_dynamic: int = 0
+    #: Surviving candidates rejected by the final validity test at
+    #: emit time (never deleted, never became rules).
+    candidates_rejected: int = 0
     rules_emitted: int = 0
     #: Index into the scan order at which DMC-bitmap took over (or None).
     bitmap_switch_at: Optional[int] = None
@@ -66,6 +74,9 @@ class ScanStats:
         self.rows_scanned += other.rows_scanned
         self.candidates_added += other.candidates_added
         self.candidates_deleted += other.candidates_deleted
+        self.candidates_deleted_budget += other.candidates_deleted_budget
+        self.candidates_deleted_dynamic += other.candidates_deleted_dynamic
+        self.candidates_rejected += other.candidates_rejected
         self.rules_emitted += other.rules_emitted
         self.rows_skipped += other.rows_skipped
         self.rows_clamped += other.rows_clamped
@@ -75,6 +86,61 @@ class ScanStats:
         self.bitmap_bytes = max(self.bitmap_bytes, other.bitmap_bytes)
         self.bitmap_seconds += other.bitmap_seconds
         self.scan_seconds += other.scan_seconds
+
+    def accounting_balanced(self) -> bool:
+        """Every candidate ever added must be accounted for exactly.
+
+        A completed scan satisfies two identities: deletions split
+        exactly into their causes, and every added candidate was either
+        deleted, rejected by the final validity test, or emitted as a
+        rule.  The observability tests (and the CLI's ``--metrics``
+        consistency check) rely on this.
+        """
+        return (
+            self.candidates_deleted
+            == self.candidates_deleted_budget
+            + self.candidates_deleted_dynamic
+            and self.candidates_added
+            == self.candidates_deleted
+            + self.candidates_rejected
+            + self.rules_emitted
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (exact integers throughout)."""
+        return {
+            "candidate_history": list(self.candidate_history),
+            "memory_history": list(self.memory_history),
+            "peak_entries": self.peak_entries,
+            "peak_bytes": self.peak_bytes,
+            "rows_scanned": self.rows_scanned,
+            "candidates_added": self.candidates_added,
+            "candidates_deleted": self.candidates_deleted,
+            "candidates_deleted_budget": self.candidates_deleted_budget,
+            "candidates_deleted_dynamic": self.candidates_deleted_dynamic,
+            "candidates_rejected": self.candidates_rejected,
+            "rules_emitted": self.rules_emitted,
+            "bitmap_switch_at": self.bitmap_switch_at,
+            "guard_tripped_at": self.guard_tripped_at,
+            "rows_skipped": self.rows_skipped,
+            "rows_clamped": self.rows_clamped,
+            "io_retries": self.io_retries,
+            "bitmap_bytes": self.bitmap_bytes,
+            "bitmap_phase1_columns": self.bitmap_phase1_columns,
+            "bitmap_phase2_columns": self.bitmap_phase2_columns,
+            "bitmap_seconds": self.bitmap_seconds,
+            "scan_seconds": self.scan_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ScanStats":
+        """Rebuild a :class:`ScanStats` written by :meth:`to_dict`."""
+        known = {
+            field_name: record[field_name]
+            for field_name in cls.__dataclass_fields__
+            if field_name in record
+        }
+        return cls(**known)
 
 
 @dataclass
@@ -97,6 +163,15 @@ class PhaseTimer:
         """Total seconds across all phases."""
         return sum(self.seconds.values())
 
+    def to_dict(self) -> Dict[str, float]:
+        """Phase name -> seconds, in insertion order."""
+        return dict(self.seconds)
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, float]) -> "PhaseTimer":
+        """Rebuild a :class:`PhaseTimer` written by :meth:`to_dict`."""
+        return cls(seconds=dict(record))
+
 
 @dataclass
 class PipelineStats:
@@ -109,6 +184,9 @@ class PipelineStats:
     columns_removed: int = 0
     rules_hundred_percent: int = 0
     rules_partial: int = 0
+    #: New candidate pairs contributed by each partition (partitioned
+    #: mining only; replaces the deprecated ``candidate_log=`` kwarg).
+    partition_candidates: List[int] = field(default_factory=list)
 
     @property
     def peak_bytes(self) -> int:
@@ -133,3 +211,36 @@ class PipelineStats:
     def breakdown(self) -> Dict[str, float]:
         """Phase name -> seconds, in insertion order."""
         return dict(self.timer.seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation of the whole run's provenance."""
+        return {
+            "timer": self.timer.to_dict(),
+            "hundred_percent_scan": self.hundred_percent_scan.to_dict(),
+            "partial_scan": self.partial_scan.to_dict(),
+            "columns_total": self.columns_total,
+            "columns_removed": self.columns_removed,
+            "rules_hundred_percent": self.rules_hundred_percent,
+            "rules_partial": self.rules_partial,
+            "partition_candidates": list(self.partition_candidates),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "PipelineStats":
+        """Rebuild a :class:`PipelineStats` written by :meth:`to_dict`."""
+        return cls(
+            timer=PhaseTimer.from_dict(record.get("timer", {})),
+            hundred_percent_scan=ScanStats.from_dict(
+                record.get("hundred_percent_scan", {})
+            ),
+            partial_scan=ScanStats.from_dict(
+                record.get("partial_scan", {})
+            ),
+            columns_total=record.get("columns_total", 0),
+            columns_removed=record.get("columns_removed", 0),
+            rules_hundred_percent=record.get("rules_hundred_percent", 0),
+            rules_partial=record.get("rules_partial", 0),
+            partition_candidates=list(
+                record.get("partition_candidates", [])
+            ),
+        )

@@ -501,15 +501,18 @@ def extension_partitioned(
         matrix, threshold, options=_options()
     ).pairs()
     for n_partitions in partition_counts:
-        log: list = []
+        stats = PipelineStats()
         seconds, rules = timed(
             find_implication_rules_partitioned,
             matrix,
             threshold,
             n_partitions,
-            log,
+            stats=stats,
         )
-        result.add_row(n_partitions, seconds, sum(log), len(rules))
+        result.add_row(
+            n_partitions, seconds, sum(stats.partition_candidates),
+            len(rules),
+        )
         if rules.pairs() != baseline:
             result.notes.append(
                 f"MISMATCH at {n_partitions} partitions"

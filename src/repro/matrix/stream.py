@@ -58,6 +58,7 @@ from repro.core.thresholds import (
     similarity_removal_cutoff,
 )
 from repro.matrix.reorder import bucket_index
+from repro.observe.progress import NULL_OBSERVER
 from repro.runtime import faults
 from repro.runtime.checkpoint import (
     CheckpointError,
@@ -254,6 +255,9 @@ class BucketSpill:
         self._closed = False
         self.rows_spilled = 0
         self.io_retries = 0
+        #: Observer notified of bucket replays and I/O retries; the
+        #: streaming pipelines set this before pass 2.
+        self.observer = NULL_OBSERVER
 
     @classmethod
     def from_checkpoint(
@@ -332,7 +336,14 @@ class BucketSpill:
         """Replay all spilled rows, sparsest bucket first."""
         for handle in self._handles:
             handle.flush()
-        for path in self._paths:
+        for index, path in enumerate(self._paths):
+            if self.observer.enabled:
+                self.observer.on_bucket(
+                    os.path.basename(path),
+                    self._rows_per_bucket[index]
+                    if index < len(self._rows_per_bucket)
+                    else 0,
+                )
             handle = retry_io(
                 lambda path=path: self._open_bucket(path),
                 on_retry=self._note_retry,
@@ -347,6 +358,8 @@ class BucketSpill:
 
     def _note_retry(self, error: BaseException) -> None:
         self.io_retries += 1
+        if self.observer.enabled:
+            self.observer.on_retry("spill.open")
 
     def close(self) -> None:
         """Release the spill: close every handle, then clean up.
@@ -402,6 +415,7 @@ def _scan_spill(
     keep: Optional[set] = None,
     zero_miss: bool = False,
     guard=None,
+    observer=None,
 ) -> None:
     """Pass 2: stream the spilled rows through the scan engine.
 
@@ -414,6 +428,9 @@ def _scan_spill(
         zero_miss_scan_rows,
     )
 
+    if observer is None:
+        observer = NULL_OBSERVER
+
     def replay() -> Iterator[Tuple[int, Tuple[int, ...]]]:
         for row_id, row in enumerate(spill.read_sparsest_first()):
             faults.trip("pass2.row")
@@ -422,6 +439,7 @@ def _scan_spill(
             yield row_id, row
 
     retries_before = spill.io_retries
+    spill.observer = observer
     scan = zero_miss_scan_rows if zero_miss else miss_counting_scan_rows
     scan(
         replay(),
@@ -431,6 +449,7 @@ def _scan_spill(
         bitmap=bitmap,
         rules=rules,
         guard=guard,
+        observer=observer,
     )
     stats.io_retries += spill.io_retries - retries_before
 
@@ -462,11 +481,14 @@ def _stream_rules(
     checkpoint_dir: Optional[str],
     guard,
     stats: Optional[PipelineStats],
+    observer=None,
 ) -> RuleSet:
     """The shared two-pass pipeline behind both stream entry points."""
     threshold = as_fraction(threshold)
     if stats is None:
         stats = PipelineStats()
+    if observer is None:
+        observer = NULL_OBSERVER
     rules = RuleSet()
     validator = getattr(source, "validator", None)
     skipped_before = validator.rows_skipped if validator else 0
@@ -476,11 +498,12 @@ def _stream_rules(
     spill: Optional[BucketSpill] = None
     ones: Optional[List[int]] = None
     if checkpoint_dir is not None:
-        store = CheckpointStore(checkpoint_dir)
+        store = CheckpointStore(checkpoint_dir, observer=observer)
         fingerprint = source_fingerprint(source)
         params = {"kind": kind, "threshold": str(threshold)}
         try:
-            checkpoint = store.load_pass1(fingerprint, params)
+            with observer.span("checkpoint-load"):
+                checkpoint = store.load_pass1(fingerprint, params)
         except CheckpointError:
             # Stale or corrupted: discard and rescan from scratch.
             store.clear()
@@ -499,18 +522,19 @@ def _stream_rules(
                 )
             else:
                 spill = BucketSpill(directory=spill_dir)
-            with stats.timer.phase("pre-scan"):
+            with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
                 ones = _first_scan(source, spill)
             _record_validation(source, stats, skipped_before, clamped_before)
             if store is not None:
                 spill.finish()
-                store.save_pass1(
-                    ones,
-                    spill.bucket_files(),
-                    spill.rows_spilled,
-                    fingerprint,
-                    params,
-                )
+                with observer.span("checkpoint-save"):
+                    store.save_pass1(
+                        ones,
+                        spill.bucket_files(),
+                        spill.rows_spilled,
+                        fingerprint,
+                        params,
+                    )
         stats.columns_total = len(ones)
 
         if kind == "implication":
@@ -518,7 +542,7 @@ def _stream_rules(
         else:
             hundred_policy = IdentityPolicy(ones)
 
-        with stats.timer.phase("100%-rules"):
+        with stats.timer.phase("100%-rules"), observer.phase("100%-rules"):
             _scan_spill(
                 spill,
                 hundred_policy,
@@ -527,11 +551,14 @@ def _stream_rules(
                 bitmap,
                 zero_miss=True,
                 guard=guard,
+                observer=observer,
             )
         stats.rules_hundred_percent = len(rules)
 
         if threshold != 1:
-            with stats.timer.phase("<100%-rules"):
+            with stats.timer.phase("<100%-rules"), observer.phase(
+                "<100%-rules"
+            ):
                 if kind == "implication":
                     cutoff = confidence_removal_cutoff(threshold)
                 else:
@@ -558,6 +585,7 @@ def _stream_rules(
                     bitmap,
                     keep=keep,
                     guard=guard,
+                    observer=observer,
                 )
             stats.rules_partial = len(rules) - stats.rules_hundred_percent
     finally:
@@ -578,6 +606,7 @@ def stream_implication_rules(
     checkpoint_dir: Optional[str] = None,
     guard=None,
     stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Two-pass DMC-imp over a streaming source.
 
@@ -593,11 +622,13 @@ def stream_implication_rules(
     ``guard`` caps the counter array
     (:class:`repro.runtime.guards.MemoryGuard`); ``stats`` collects the
     same :class:`PipelineStats` the in-memory pipeline fills, plus
-    validation/retry counters.
+    validation/retry counters.  ``observer`` (any
+    :class:`repro.observe.ProgressObserver`) additionally sees bucket
+    replays, checkpoint save/load spans and I/O retries.
     """
     return _stream_rules(
         source, minconf, "implication", bitmap, spill_dir,
-        checkpoint_dir, guard, stats,
+        checkpoint_dir, guard, stats, observer,
     )
 
 
@@ -609,14 +640,15 @@ def stream_similarity_rules(
     checkpoint_dir: Optional[str] = None,
     guard=None,
     stats: Optional[PipelineStats] = None,
+    observer=None,
 ) -> RuleSet:
     """Two-pass DMC-sim over a streaming source.
 
     Equivalent to :func:`repro.core.dmc_sim.find_similarity_rules`.
-    Checkpointing, validation, guarding and stats behave exactly as in
-    :func:`stream_implication_rules`.
+    Checkpointing, validation, guarding, stats and observer behave
+    exactly as in :func:`stream_implication_rules`.
     """
     return _stream_rules(
         source, minsim, "similarity", bitmap, spill_dir,
-        checkpoint_dir, guard, stats,
+        checkpoint_dir, guard, stats, observer,
     )

@@ -20,6 +20,8 @@ from repro.mining.export import (
     rules_to_text,
     similarity_rules_from_csv,
     similarity_rules_to_csv,
+    stats_from_json,
+    stats_to_json,
 )
 from repro.mining.grouping import (
     expand_keyword,
@@ -78,6 +80,8 @@ __all__ = [
     "similarity_rule_graph",
     "similarity_rules_from_csv",
     "similarity_rules_to_csv",
+    "stats_from_json",
+    "stats_to_json",
     "summarize_rules",
     "support",
     "top_rules",

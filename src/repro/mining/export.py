@@ -1,7 +1,12 @@
 """Exporting mined rules: text, CSV, and JSON serializations.
 
 Rule sets survive a round trip through each format — the tests assert
-it — so mined results can be archived and diffed across runs.
+it — so mined results can be archived and diffed across runs.  A JSON
+export can additionally carry the run's
+:class:`~repro.core.stats.PipelineStats` (``stats=``), so an archived
+rule set keeps the provenance of how it was mined;
+:func:`stats_to_json` / :func:`stats_from_json` round-trip the stats
+on their own.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from fractions import Fraction
 from typing import Optional
 
 from repro.core.rules import ImplicationRule, RuleSet, SimilarityRule
+from repro.core.stats import PipelineStats
 from repro.matrix.binary_matrix import Vocabulary
 
 
@@ -77,12 +83,17 @@ def similarity_rules_from_csv(path: str) -> RuleSet:
 
 
 def rules_to_json(
-    rules: RuleSet, vocabulary: Optional[Vocabulary] = None
+    rules: RuleSet,
+    vocabulary: Optional[Vocabulary] = None,
+    stats: Optional[PipelineStats] = None,
 ) -> str:
     """Serialize a rule set (either kind) to a JSON document.
 
     Confidences/similarities are emitted as exact ``"p/q"`` strings in
-    addition to the integer statistics.
+    addition to the integer statistics.  When ``stats`` is given the
+    document gains a ``"stats"`` key carrying the run's
+    :class:`PipelineStats` (see :func:`stats_from_json`), so the export
+    records how its rules were mined.
     """
     records = []
     for rule in rules.sorted():
@@ -115,7 +126,10 @@ def rules_to_json(
                 record["first_label"] = vocabulary.label_of(rule.first)
                 record["second_label"] = vocabulary.label_of(rule.second)
         records.append(record)
-    return json.dumps({"rules": records}, indent=2)
+    document = {"rules": records}
+    if stats is not None:
+        document["stats"] = stats.to_dict()
+    return json.dumps(document, indent=2)
 
 
 def rules_from_json(document: str) -> RuleSet:
@@ -154,3 +168,17 @@ def rules_from_json(document: str) -> RuleSet:
             raise ValueError(f"unknown rule kind {record['kind']!r}")
         rules.add(rule)
     return rules
+
+
+def stats_to_json(stats: PipelineStats) -> str:
+    """Serialize a run's :class:`PipelineStats` to a JSON document."""
+    return json.dumps(stats.to_dict(), indent=2)
+
+
+def stats_from_json(document: str) -> PipelineStats:
+    """Rebuild :class:`PipelineStats` from :func:`stats_to_json` output,
+    or from the ``"stats"`` key of a :func:`rules_to_json` document."""
+    payload = json.loads(document)
+    if "stats" in payload and "rules" in payload:
+        payload = payload["stats"]
+    return PipelineStats.from_dict(payload)

@@ -1,0 +1,77 @@
+"""File exporters for traces and metric registries.
+
+Two formats:
+
+- **JSON** — the native ``to_dict()`` documents of
+  :class:`~repro.observe.tracer.Tracer` and
+  :class:`~repro.observe.metrics.MetricsRegistry`;
+- **Prometheus text exposition** — chosen automatically when the
+  metrics path ends in ``.prom`` or ``.txt`` (or forced with
+  ``fmt="prometheus"``), so a run's metrics file can be dropped
+  straight into a node-exporter textfile collector.
+
+Writes are atomic (temp file + rename) so a crash mid-export never
+leaves a truncated document behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import Tracer
+
+#: Metrics-path suffixes that select the Prometheus text format.
+PROMETHEUS_SUFFIXES = (".prom", ".txt")
+
+
+def _atomic_write(path: str, content: str) -> None:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def metrics_format_for(path: str, fmt: Optional[str] = None) -> str:
+    """Resolve the metrics format for ``path``: "json" or "prometheus"."""
+    if fmt is not None:
+        if fmt not in ("json", "prometheus"):
+            raise ValueError(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+            )
+        return fmt
+    suffix = os.path.splitext(path)[1].lower()
+    return "prometheus" if suffix in PROMETHEUS_SUFFIXES else "json"
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: str, fmt: Optional[str] = None
+) -> str:
+    """Write ``registry`` to ``path``; returns the format used."""
+    resolved = metrics_format_for(path, fmt)
+    if resolved == "prometheus":
+        _atomic_write(path, registry.to_prometheus())
+    else:
+        _atomic_write(path, registry.to_json() + "\n")
+    return resolved
+
+
+def write_trace(tracer: Tracer, path: str) -> None:
+    """Write ``tracer``'s span tree to ``path`` as JSON."""
+    _atomic_write(path, tracer.to_json() + "\n")
+
+
+def load_trace(path: str) -> dict:
+    """Read back a trace document written by :func:`write_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_metrics(path: str) -> dict:
+    """Read back a JSON metrics document written by :func:`write_metrics`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,192 @@
+"""The :class:`RunObserver`: tracer + metrics + progress in one handle.
+
+This is the object the mining entry points accept as ``observer=``.
+It owns a :class:`~repro.observe.tracer.Tracer` and a
+:class:`~repro.observe.metrics.MetricsRegistry`, forwards progress
+events to an optional :class:`~repro.observe.progress.ProgressObserver`
+sink, and knows how to fold a finished run's
+:class:`~repro.core.stats.PipelineStats` onto the registry.
+
+The engine-facing contract is the :class:`ProgressObserver` protocol
+plus two context managers:
+
+- ``phase(name)`` — a top-level pipeline phase (pre-scan, 100%-rules,
+  <100%-rules, ...); sets the scan label used by per-row events;
+- ``span(name, **attributes)`` — any nested timed region (spill
+  bucket replay, the bitmap tail, checkpoint save/load).
+
+A disabled observer (``repro.observe.NULL_OBSERVER``) costs the hot
+loop one attribute check per row.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.observe.metrics import Gauge, MetricsRegistry
+from repro.observe.progress import (
+    NULL_OBSERVER,
+    ProgressObserver,
+)
+from repro.observe.tracer import Tracer
+
+#: Number of scan-position bands for the candidates-alive gauges.
+DEFAULT_BANDS = 10
+
+
+class RunObserver(ProgressObserver):
+    """Observe a mining run: nested spans, metrics, progress events."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressObserver] = None,
+        bands: int = DEFAULT_BANDS,
+    ) -> None:
+        if bands < 1:
+            raise ValueError("bands must be at least 1")
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.progress = progress if progress is not None else NULL_OBSERVER
+        self.bands = bands
+        #: Counter-array high water observed between row boundaries.
+        self.memory_high_water = 0
+        self._scan = "scan"
+        self._band_gauges: Dict[Tuple[str, int], Gauge] = {}
+        self._live_gauges: Dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------------
+    # Context managers used by the pipelines
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """A top-level pipeline phase: traced span + scan label."""
+        previous = self._scan
+        self._scan = name
+        if self.progress.enabled:
+            self.progress.on_phase_start(name)
+        try:
+            with self.tracer.span(name) as span:
+                yield
+        finally:
+            self._scan = previous
+            if self.progress.enabled:
+                self.progress.on_phase_end(name, span.seconds)
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[None]:
+        """A nested timed region inside the current phase."""
+        with self.tracer.span(name, **attributes):
+            yield
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the innermost open span."""
+        self.tracer.annotate(**attributes)
+
+    # ------------------------------------------------------------------
+    # Engine-facing hooks
+    # ------------------------------------------------------------------
+
+    def on_row(
+        self,
+        position: int,
+        total: int,
+        entries: int,
+        memory_bytes: int,
+        scan: str = "",
+    ) -> None:
+        scan = scan or self._scan
+        live = self._live_gauges.get(scan)
+        if live is None:
+            live = self._live_gauges[scan] = self.metrics.gauge(
+                f"{self.metrics.prefix}_candidates_alive",
+                "Live candidate entries after the latest row.", scan=scan,
+            )
+        live.set(entries)
+        if memory_bytes > self.memory_high_water:
+            self.memory_high_water = memory_bytes
+        band = min(
+            self.bands - 1, position * self.bands // total if total else 0
+        )
+        key = (scan, band)
+        gauge = self._band_gauges.get(key)
+        if gauge is None:
+            gauge = self._band_gauges[key] = self.metrics.gauge(
+                f"{self.metrics.prefix}_candidates_alive_band",
+                "Peak live candidate entries per scan-position band.",
+                scan=scan, band=str(band),
+            )
+        gauge.set_max(entries)
+        if self.progress.enabled:
+            self.progress.on_row(position, total, entries, memory_bytes, scan)
+
+    def observe_memory(self, memory_bytes: int) -> None:
+        """Counter-array growth sample (may fire between rows)."""
+        if memory_bytes > self.memory_high_water:
+            self.memory_high_water = memory_bytes
+
+    def on_bitmap_switch(self, position: int, scan: str = "") -> None:
+        scan = scan or self._scan
+        self.metrics.gauge(
+            f"{self.metrics.prefix}_bitmap_switch_row",
+            "Scan-order row at which the DMC-bitmap tail took over "
+            "(-1: never).", scan=scan,
+        ).set(position)
+        if self.progress.enabled:
+            self.progress.on_bitmap_switch(position, scan)
+
+    def on_guard_trip(self, position: int, scan: str = "") -> None:
+        scan = scan or self._scan
+        self.metrics.counter(
+            f"{self.metrics.prefix}_guard_trips_total",
+            "Rows at which a MemoryGuard forced degradation.", scan=scan,
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_guard_trip(position, scan)
+
+    def on_bucket(self, name: str, rows: int) -> None:
+        self.metrics.counter(
+            f"{self.metrics.prefix}_buckets_replayed_total",
+            "Spill bucket files replayed during pass 2.",
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_bucket(name, rows)
+
+    def on_retry(self, site: str) -> None:
+        self.metrics.counter(
+            f"{self.metrics.prefix}_retries_total",
+            "Transient-failure retries, by site.", site=site,
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_retry(site)
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+
+    def finish(self, stats=None, guard=None) -> None:
+        """Fold a completed run's measurements onto the registry.
+
+        Call once per mined run (the :func:`repro.mine` facade and the
+        CLI do this for you).  ``stats`` is the run's
+        :class:`~repro.core.stats.PipelineStats`; ``guard`` an optional
+        :class:`~repro.runtime.guards.MemoryGuard` that watched it.
+        """
+        if stats is not None:
+            self.metrics.record_pipeline(stats)
+        if guard is not None:
+            self.metrics.record_guard(guard)
+        self.metrics.gauge(
+            f"{self.metrics.prefix}_memory_high_water_bytes",
+            "Counter-array high water across the run, including "
+            "between-row spikes.",
+        ).set_max(self.memory_high_water)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunObserver(spans={len(self.tracer.spans)}, "
+            f"metrics={self.metrics!r})"
+        )

@@ -113,8 +113,13 @@ def _sha256_file(path: str) -> str:
 class CheckpointStore:
     """Owns one checkpoint directory (manifest + durable spill buckets)."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, observer=None) -> None:
         self.directory = directory
+        #: Transient manifest-write failures that were retried.
+        self.io_retries = 0
+        #: Observer notified of manifest-write retries (any
+        #: :class:`repro.observe.ProgressObserver`); None disables.
+        self.observer = observer
         os.makedirs(directory, exist_ok=True)
 
     @property
@@ -192,7 +197,15 @@ class CheckpointStore:
             "rows_spilled": rows_spilled,
             "buckets": buckets,
         }
-        retry_io(lambda: self._write_manifest(payload))
+        retry_io(
+            lambda: self._write_manifest(payload),
+            on_retry=self._note_retry,
+        )
+
+    def _note_retry(self, error: BaseException) -> None:
+        self.io_retries += 1
+        if self.observer is not None and self.observer.enabled:
+            self.observer.on_retry("checkpoint.save")
 
     def _write_manifest(self, payload: Dict[str, object]) -> None:
         faults.trip("checkpoint.save")

@@ -134,6 +134,8 @@ def mine_with_memory_budget(
     budget_bytes: int = 50 * 2 ** 20,
     n_partitions: int = 4,
     n_workers: Optional[int] = None,
+    stats=None,
+    observer=None,
 ):
     """Mine with a hard memory budget, degrading to partitioned mining.
 
@@ -143,6 +145,13 @@ def mine_with_memory_budget(
     divide-and-conquer algorithm of :mod:`repro.core.partitioned`,
     whose working set is bounded by the partition size.  Both paths
     produce the exact rule set.
+
+    ``stats`` (a :class:`repro.core.stats.PipelineStats`) and
+    ``observer`` (a :class:`repro.observe.ProgressObserver`) follow
+    whichever engine actually completes; on fallback the stats are
+    reset so they describe the partitioned run only, and the observer
+    records the attempt as a ``dmc-attempt`` span alongside the
+    fallback's phases.
 
     Returns ``(rules, engine)`` where ``engine`` is ``"dmc"`` or
     ``"partitioned"``.
@@ -155,25 +164,47 @@ def mine_with_memory_budget(
         find_implication_rules_partitioned,
         find_similarity_rules_partitioned,
     )
+    from repro.core.stats import PipelineStats
+    from repro.observe.progress import NULL_OBSERVER
 
     if kind not in ("implication", "similarity"):
         raise ValueError(f"unknown rule kind {kind!r}")
+    if observer is None:
+        observer = NULL_OBSERVER
     guard = MemoryGuard(budget_bytes, action="raise")
     options = replace(PruningOptions(), memory_guard=guard)
+    attempt_stats = stats if stats is not None else PipelineStats()
     try:
-        if kind == "implication":
-            rules = find_implication_rules(matrix, threshold, options=options)
-        else:
-            rules = find_similarity_rules(matrix, threshold, options=options)
+        with observer.span("dmc-attempt", budget_bytes=budget_bytes):
+            if kind == "implication":
+                rules = find_implication_rules(
+                    matrix, threshold, options=options,
+                    stats=attempt_stats, observer=observer,
+                )
+            else:
+                rules = find_similarity_rules(
+                    matrix, threshold, options=options,
+                    stats=attempt_stats, observer=observer,
+                )
         return rules, "dmc"
     except MemoryBudgetExceeded:
         pass
-    if kind == "implication":
-        rules = find_implication_rules_partitioned(
-            matrix, threshold, n_partitions=n_partitions, n_workers=n_workers
-        )
-    else:
-        rules = find_similarity_rules_partitioned(
-            matrix, threshold, n_partitions=n_partitions, n_workers=n_workers
-        )
+    if stats is not None:
+        # The aborted attempt's numbers would double-count; report the
+        # partitioned run only (the guard keeps the attempt's high water).
+        stats.__init__()
+    with observer.span(
+        "partitioned-fallback", budget_exceeded=True,
+        tripped_at=guard.tripped_at,
+    ):
+        if kind == "implication":
+            rules = find_implication_rules_partitioned(
+                matrix, threshold, n_partitions=n_partitions,
+                n_workers=n_workers, stats=stats, observer=observer,
+            )
+        else:
+            rules = find_similarity_rules_partitioned(
+                matrix, threshold, n_partitions=n_partitions,
+                n_workers=n_workers, stats=stats, observer=observer,
+            )
     return rules, "partitioned"

@@ -69,9 +69,10 @@ class TestImplication:
     def test_candidate_log(self):
         matrix = random_binary_matrix(1)
         log = []
-        find_implication_rules_partitioned(
-            matrix, 0.8, n_partitions=3, candidate_log=log
-        )
+        with pytest.warns(DeprecationWarning):
+            find_implication_rules_partitioned(
+                matrix, 0.8, n_partitions=3, candidate_log=log
+            )
         assert len(log) == 3
 
 

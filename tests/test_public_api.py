@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.mining",
     "repro.experiments",
     "repro.runtime",
+    "repro.observe",
 ]
 
 
@@ -48,6 +49,10 @@ def test_top_level_quickstart_names():
         "PruningOptions",
         "BitmapConfig",
         "load_dataset",
+        "mine",
+        "MiningConfig",
+        "MiningResult",
+        "RunObserver",
     ):
         assert hasattr(repro, name)
 
