@@ -1,7 +1,13 @@
-"""Module entry point for ``python -m repro``."""
+"""Module entry point for ``python -m repro``.
+
+The ``__name__`` guard is load-bearing: spawn-context workers
+(``--workers``) re-import the main module as ``__mp_main__``, and
+without it every worker would re-run the CLI instead of serving tasks.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,8 +75,16 @@ class MiningConfig:
     partitioned:
         Use the divide-and-conquer engine (in-memory data only).
     n_partitions / n_workers:
-        Partitioned-engine tuning (``n_workers > 1`` uses a process
-        pool).
+        Partitioned-engine tuning (``n_workers > 1`` mines partitions
+        on the supervised parallel runtime,
+        :class:`repro.runtime.supervisor.Supervisor`).
+    task_timeout / task_retries / ledger_dir:
+        Supervised-runtime tuning (``n_workers > 1`` only):
+        hang-detection timeout in seconds (``None`` disables), failed
+        attempts per partition before it is quarantined and re-run
+        serially in-process, and the directory for the shard ledger
+        that lets a killed run resume with only its unfinished
+        partitions.
     memory_budget:
         Hard counter-array budget in bytes; the DMC attempt degrades to
         the partitioned engine when exceeded (in-memory data only).
@@ -96,6 +104,9 @@ class MiningConfig:
     partitioned: bool = False
     n_partitions: int = 4
     n_workers: Optional[int] = None
+    task_timeout: Optional[float] = None
+    task_retries: int = 2
+    ledger_dir: Optional[str] = None
     memory_budget: Optional[int] = None
     spill_dir: Optional[str] = None
     checkpoint_dir: Optional[str] = None
@@ -115,6 +126,10 @@ class MiningConfig:
                 "partitioned=True and memory_budget= are mutually "
                 "exclusive (a budget already falls back to partitioned)"
             )
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
 
 
 @dataclass
@@ -241,6 +256,9 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             budget_bytes=config.memory_budget,
             n_partitions=config.n_partitions,
             n_workers=config.n_workers,
+            task_timeout=config.task_timeout,
+            task_retries=config.task_retries,
+            ledger_dir=config.ledger_dir,
             stats=stats,
             observer=observer,
         )
@@ -255,6 +273,9 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             config.threshold,
             n_partitions=config.n_partitions,
             n_workers=config.n_workers,
+            task_timeout=config.task_timeout,
+            task_retries=config.task_retries,
+            ledger_dir=config.ledger_dir,
             stats=stats,
             observer=observer,
         )

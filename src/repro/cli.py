@@ -106,6 +106,32 @@ def build_parser() -> argparse.ArgumentParser:
                  "after a crash (implies --stream)",
         )
         sub.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="mine with the partitioned engine on N supervised "
+                 "worker processes (crash/hang recovery; incompatible "
+                 "with --stream)",
+        )
+        sub.add_argument(
+            "--partitions", type=int, default=4, metavar="N",
+            help="row partitions for the partitioned engine (default 4)",
+        )
+        sub.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="declare a partition task hung after this many seconds "
+                 "and respawn its worker (default: no hang detection)",
+        )
+        sub.add_argument(
+            "--task-retries", type=int, default=2, metavar="N",
+            help="failed attempts per partition before it is "
+                 "quarantined and re-run in-process (default 2)",
+        )
+        sub.add_argument(
+            "--ledger", metavar="DIR", default=None,
+            help="persist completed partitions in DIR so a killed "
+                 "supervised run resumes with only the unfinished ones "
+                 "(implies --workers 2)",
+        )
+        sub.add_argument(
             "--metrics", metavar="PATH", default=None,
             help="write run metrics to PATH (JSON, or Prometheus text "
                  "when PATH ends in .prom/.txt)",
@@ -212,6 +238,16 @@ def _mine(args: argparse.Namespace) -> int:
     use_stream = bool(
         getattr(args, "stream", False) or getattr(args, "checkpoint", None)
     )
+    workers = getattr(args, "workers", None)
+    if workers is None and getattr(args, "ledger", None):
+        workers = 2
+    if use_stream and workers is not None:
+        print(
+            "--workers/--ledger use the partitioned engine and cannot "
+            "be combined with --stream/--checkpoint",
+            file=sys.stderr,
+        )
+        return 2
     observer = _build_observer(args)
 
     vocabulary = None
@@ -240,10 +276,21 @@ def _mine(args: argparse.Namespace) -> int:
                 if args.command == "mine-imp"
                 else {"minsim": args.minsim}
             )
+            supervised = {}
+            if workers is not None:
+                supervised = {
+                    "partitioned": True,
+                    "n_partitions": getattr(args, "partitions", 4),
+                    "n_workers": workers,
+                    "task_timeout": getattr(args, "task_timeout", None),
+                    "task_retries": getattr(args, "task_retries", 2),
+                    "ledger_dir": getattr(args, "ledger", None),
+                }
             result = mine(
                 data,
                 checkpoint_dir=getattr(args, "checkpoint", None),
                 observer=observer,
+                **supervised,
                 **threshold,
             )
             rules = result.rules

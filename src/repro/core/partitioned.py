@@ -17,6 +17,12 @@ least one partition.  Local mining therefore uses an *all-pairs*
 implication policy (a pair's canonical direction can differ between a
 partition and the full data), and candidates are verified only in their
 global canonical direction.
+
+With ``n_workers > 1`` partitions run on the supervised parallel
+runtime (:mod:`repro.runtime.supervisor`): crash/hang/corrupt-tolerant
+spawn workers, per-task retry with backoff, quarantine with serial
+re-run, and an optional shard ledger for resume — every recovery path
+preserves the exact rule set.
 """
 
 from __future__ import annotations
@@ -110,6 +116,25 @@ def _mine_chunk(args) -> List[Tuple[int, int]]:
     return sorted(pairs)
 
 
+def _valid_chunk_result(result) -> bool:
+    """Shape check for a worker's pair list (the corrupt-result defense)."""
+    if not isinstance(result, list):
+        return False
+    for entry in result:
+        if not (
+            isinstance(entry, (tuple, list))
+            and len(entry) == 2
+            and all(isinstance(c, int) for c in entry)
+        ):
+            return False
+    return True
+
+
+def _decode_chunk_result(result) -> List[Tuple[int, int]]:
+    """Rebuild a pair list loaded from the shard ledger's JSON."""
+    return [tuple(entry) for entry in result]
+
+
 def _local_candidates(
     matrix: BinaryMatrix,
     threshold,
@@ -117,9 +142,16 @@ def _local_candidates(
     kind: str,
     n_workers: Optional[int],
     sinks: List[List[int]],
+    stats: PipelineStats,
+    observer,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 2,
+    ledger_dir: Optional[str] = None,
+    supervise: bool = True,
+    worker_faults=None,
 ) -> Set[Tuple[int, int]]:
-    """Mine every partition (serially or in a process pool) and union
-    the locally-valid pairs."""
+    """Mine every partition (serially, supervised, or in a bare pool)
+    and union the locally-valid pairs."""
     jobs = [
         (
             [matrix.row(row_id) for row_id in chunk],
@@ -129,11 +161,56 @@ def _local_candidates(
         )
         for chunk in _partition_rows(matrix, n_partitions)
     ]
+    if not jobs:  # empty matrix: nothing to mine, no pool to size
+        return set()
     if n_workers is not None and n_workers > 1 and len(jobs) > 1:
-        import multiprocessing
+        if supervise:
+            from repro.runtime.supervisor import (
+                ShardLedger,
+                Supervisor,
+                Task,
+            )
 
-        with multiprocessing.Pool(min(n_workers, len(jobs))) as pool:
-            per_chunk = pool.map(_mine_chunk, jobs)
+            tasks = [
+                Task(task_id=f"{kind}-part-{index:04d}", payload=job)
+                for index, job in enumerate(jobs)
+            ]
+            ledger = None
+            if ledger_dir is not None:
+                ledger = ShardLedger(
+                    ledger_dir,
+                    fingerprint={
+                        "kind": kind,
+                        "threshold": str(threshold),
+                        "partitions": len(jobs),
+                        "rows": matrix.n_rows,
+                        "columns": matrix.n_columns,
+                        "nnz": matrix.nnz,
+                    },
+                    observer=observer,
+                )
+            supervisor = Supervisor(
+                _mine_chunk,
+                n_workers=n_workers,
+                task_timeout=task_timeout,
+                task_retries=task_retries,
+                validate=_valid_chunk_result,
+                ledger=ledger,
+                decode=_decode_chunk_result,
+                worker_faults=worker_faults,
+                observer=observer,
+            )
+            report = supervisor.run(tasks)
+            per_chunk = report.results(tasks)
+            stats.worker_restarts += report.worker_restarts
+            stats.task_retries += report.task_retries
+            stats.tasks_quarantined += report.tasks_quarantined
+        else:
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(min(n_workers, len(jobs))) as pool:
+                per_chunk = pool.map(_mine_chunk, jobs)
     else:
         per_chunk = [_mine_chunk(job) for job in jobs]
 
@@ -154,6 +231,11 @@ def find_implication_rules_partitioned(
     n_workers: Optional[int] = None,
     stats: Optional[PipelineStats] = None,
     observer=None,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 2,
+    ledger_dir: Optional[str] = None,
+    supervise: bool = True,
+    worker_faults=None,
 ) -> RuleSet:
     """Mine implication rules by partitioned candidate generation.
 
@@ -161,8 +243,17 @@ def find_implication_rules_partitioned(
     :func:`repro.core.dmc_imp.find_implication_rules`.  Per-partition
     candidate counts land on ``stats.partition_candidates`` (and on the
     deprecated ``candidate_log`` list if given); with ``n_workers > 1``
-    partitions are mined in a process pool.  ``observer`` sees a
-    ``partition-mining`` and a ``verify-candidates`` phase.
+    partitions are mined on supervised spawn workers
+    (:class:`repro.runtime.supervisor.Supervisor`): crashed or hung
+    workers are respawned, failed partitions retry ``task_retries``
+    times with backoff under ``task_timeout``-second hang detection,
+    poison partitions re-run serially in-process (never dropped), and
+    with ``ledger_dir`` a killed run resumes with only its unfinished
+    partitions.  ``supervise=False`` keeps the bare spawn-context pool
+    (no recovery).  ``observer`` sees a ``partition-mining`` and a
+    ``verify-candidates`` phase plus the supervisor's task events;
+    recovery counters land on ``stats.worker_restarts`` /
+    ``stats.task_retries`` / ``stats.tasks_quarantined``.
     """
     minconf = as_fraction(minconf)
     sinks = _resolve_logs(candidate_log, stats)
@@ -177,7 +268,10 @@ def find_implication_rules_partitioned(
     ):
         candidates = _local_candidates(
             matrix, minconf, n_partitions, "implication", n_workers,
-            sinks,
+            sinks, stats, observer,
+            task_timeout=task_timeout, task_retries=task_retries,
+            ledger_dir=ledger_dir, supervise=supervise,
+            worker_faults=worker_faults,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections
@@ -215,12 +309,19 @@ def find_similarity_rules_partitioned(
     n_workers: Optional[int] = None,
     stats: Optional[PipelineStats] = None,
     observer=None,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 2,
+    ledger_dir: Optional[str] = None,
+    supervise: bool = True,
+    worker_faults=None,
 ) -> RuleSet:
     """Mine similarity rules by partitioned candidate generation.
 
     Produces exactly the rules of
     :func:`repro.core.dmc_sim.find_similarity_rules`.  ``stats``,
-    ``candidate_log`` and ``observer`` behave as in
+    ``candidate_log``, ``observer`` and the supervised-runtime knobs
+    (``task_timeout`` / ``task_retries`` / ``ledger_dir`` /
+    ``supervise``) behave as in
     :func:`find_implication_rules_partitioned`.
     """
     minsim = as_fraction(minsim)
@@ -236,7 +337,10 @@ def find_similarity_rules_partitioned(
     ):
         candidates = _local_candidates(
             matrix, minsim, n_partitions, "similarity", n_workers,
-            sinks,
+            sinks, stats, observer,
+            task_timeout=task_timeout, task_retries=task_retries,
+            ledger_dir=ledger_dir, supervise=supervise,
+            worker_faults=worker_faults,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections

@@ -187,6 +187,12 @@ class PipelineStats:
     #: New candidate pairs contributed by each partition (partitioned
     #: mining only; replaces the deprecated ``candidate_log=`` kwarg).
     partition_candidates: List[int] = field(default_factory=list)
+    #: Dead or hung workers the supervised runtime replaced.
+    worker_restarts: int = 0
+    #: Supervised task attempts that failed and were retried.
+    task_retries: int = 0
+    #: Tasks that exhausted their retries and re-ran serially in-process.
+    tasks_quarantined: int = 0
 
     @property
     def peak_bytes(self) -> int:
@@ -223,6 +229,9 @@ class PipelineStats:
             "rules_hundred_percent": self.rules_hundred_percent,
             "rules_partial": self.rules_partial,
             "partition_candidates": list(self.partition_candidates),
+            "worker_restarts": self.worker_restarts,
+            "task_retries": self.task_retries,
+            "tasks_quarantined": self.tasks_quarantined,
         }
 
     @classmethod
@@ -243,4 +252,7 @@ class PipelineStats:
             partition_candidates=list(
                 record.get("partition_candidates", [])
             ),
+            worker_restarts=record.get("worker_restarts", 0),
+            task_retries=record.get("task_retries", 0),
+            tasks_quarantined=record.get("tasks_quarantined", 0),
         )

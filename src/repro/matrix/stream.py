@@ -67,6 +67,7 @@ from repro.runtime.checkpoint import (
     source_fingerprint,
 )
 from repro.runtime.guards import retry_io
+from repro.runtime.supervisor import graceful_interrupts
 from repro.runtime.validation import RowValidator
 
 
@@ -483,7 +484,13 @@ def _stream_rules(
     stats: Optional[PipelineStats],
     observer=None,
 ) -> RuleSet:
-    """The shared two-pass pipeline behind both stream entry points."""
+    """The shared two-pass pipeline behind both stream entry points.
+
+    Runs under :func:`repro.runtime.supervisor.graceful_interrupts`:
+    SIGTERM unwinds like Ctrl-C, so the spill buckets close and the
+    pass-1 checkpoint (written *before* pass 2 starts) survives for
+    the next run to resume from.
+    """
     threshold = as_fraction(threshold)
     if stats is None:
         stats = PipelineStats()
@@ -515,79 +522,80 @@ def _stream_rules(
             ones = list(checkpoint.ones)
 
     try:
-        if spill is None:
-            if store is not None:
-                spill = BucketSpill(
-                    directory=store.prepare_buckets(), durable=True
-                )
+        with graceful_interrupts():
+            if spill is None:
+                if store is not None:
+                    spill = BucketSpill(
+                        directory=store.prepare_buckets(), durable=True
+                    )
+                else:
+                    spill = BucketSpill(directory=spill_dir)
+                with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
+                    ones = _first_scan(source, spill)
+                _record_validation(source, stats, skipped_before, clamped_before)
+                if store is not None:
+                    spill.finish()
+                    with observer.span("checkpoint-save"):
+                        store.save_pass1(
+                            ones,
+                            spill.bucket_files(),
+                            spill.rows_spilled,
+                            fingerprint,
+                            params,
+                        )
+            stats.columns_total = len(ones)
+
+            if kind == "implication":
+                hundred_policy: PairPolicy = HundredPercentPolicy(ones)
             else:
-                spill = BucketSpill(directory=spill_dir)
-            with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
-                ones = _first_scan(source, spill)
-            _record_validation(source, stats, skipped_before, clamped_before)
-            if store is not None:
-                spill.finish()
-                with observer.span("checkpoint-save"):
-                    store.save_pass1(
-                        ones,
-                        spill.bucket_files(),
-                        spill.rows_spilled,
-                        fingerprint,
-                        params,
-                    )
-        stats.columns_total = len(ones)
+                hundred_policy = IdentityPolicy(ones)
 
-        if kind == "implication":
-            hundred_policy: PairPolicy = HundredPercentPolicy(ones)
-        else:
-            hundred_policy = IdentityPolicy(ones)
-
-        with stats.timer.phase("100%-rules"), observer.phase("100%-rules"):
-            _scan_spill(
-                spill,
-                hundred_policy,
-                rules,
-                stats.hundred_percent_scan,
-                bitmap,
-                zero_miss=True,
-                guard=guard,
-                observer=observer,
-            )
-        stats.rules_hundred_percent = len(rules)
-
-        if threshold != 1:
-            with stats.timer.phase("<100%-rules"), observer.phase(
-                "<100%-rules"
-            ):
-                if kind == "implication":
-                    cutoff = confidence_removal_cutoff(threshold)
-                else:
-                    cutoff = similarity_removal_cutoff(threshold)
-                keep: Set[int] = {
-                    c for c, count in enumerate(ones) if count > cutoff
-                }
-                stats.columns_removed = len(ones) - len(keep)
-                restricted = [
-                    count if c in keep else 0
-                    for c, count in enumerate(ones)
-                ]
-                if kind == "implication":
-                    partial_policy: PairPolicy = ImplicationPolicy(
-                        restricted, threshold
-                    )
-                else:
-                    partial_policy = SimilarityPolicy(restricted, threshold)
+            with stats.timer.phase("100%-rules"), observer.phase("100%-rules"):
                 _scan_spill(
                     spill,
-                    partial_policy,
+                    hundred_policy,
                     rules,
-                    stats.partial_scan,
+                    stats.hundred_percent_scan,
                     bitmap,
-                    keep=keep,
+                    zero_miss=True,
                     guard=guard,
                     observer=observer,
                 )
-            stats.rules_partial = len(rules) - stats.rules_hundred_percent
+            stats.rules_hundred_percent = len(rules)
+
+            if threshold != 1:
+                with stats.timer.phase("<100%-rules"), observer.phase(
+                    "<100%-rules"
+                ):
+                    if kind == "implication":
+                        cutoff = confidence_removal_cutoff(threshold)
+                    else:
+                        cutoff = similarity_removal_cutoff(threshold)
+                    keep: Set[int] = {
+                        c for c, count in enumerate(ones) if count > cutoff
+                    }
+                    stats.columns_removed = len(ones) - len(keep)
+                    restricted = [
+                        count if c in keep else 0
+                        for c, count in enumerate(ones)
+                    ]
+                    if kind == "implication":
+                        partial_policy: PairPolicy = ImplicationPolicy(
+                            restricted, threshold
+                        )
+                    else:
+                        partial_policy = SimilarityPolicy(restricted, threshold)
+                    _scan_spill(
+                        spill,
+                        partial_policy,
+                        rules,
+                        stats.partial_scan,
+                        bitmap,
+                        keep=keep,
+                        guard=guard,
+                        observer=observer,
+                    )
+                stats.rules_partial = len(rules) - stats.rules_hundred_percent
     finally:
         if spill is not None:
             spill.close()

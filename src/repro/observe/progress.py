@@ -95,6 +95,24 @@ class ProgressObserver:
     def on_retry(self, site: str) -> None:
         """A transient I/O error at ``site`` is being retried."""
 
+    def on_task_done(
+        self,
+        task_id: str,
+        seconds: float,
+        attempt: int,
+        quarantined: bool = False,
+    ) -> None:
+        """A supervised task completed (possibly via quarantine)."""
+
+    def on_task_retry(self, task_id: str, reason: str) -> None:
+        """A supervised task failed and will be retried after backoff."""
+
+    def on_worker_restart(self, worker_id: int, reason: str) -> None:
+        """A dead or hung worker was replaced with a fresh process."""
+
+    def on_task_quarantined(self, task_id: str) -> None:
+        """A task exhausted its retries and awaits a serial re-run."""
+
 
 class NullObserver(ProgressObserver):
     """The disabled observer: the engine pays one attribute check."""
@@ -165,3 +183,24 @@ class ConsoleProgress(ProgressObserver):
 
     def on_retry(self, site: str) -> None:
         self._emit(f"[repro] retrying transient I/O failure at {site}")
+
+    def on_task_done(
+        self,
+        task_id: str,
+        seconds: float,
+        attempt: int,
+        quarantined: bool = False,
+    ) -> None:
+        how = "quarantine re-run" if quarantined else f"attempt {attempt}"
+        self._emit(f"[repro] task {task_id} done in {seconds:.3f}s ({how})")
+
+    def on_task_retry(self, task_id: str, reason: str) -> None:
+        self._emit(f"[repro] retrying task {task_id}: {reason}")
+
+    def on_worker_restart(self, worker_id: int, reason: str) -> None:
+        self._emit(f"[repro] restarted worker {worker_id}: {reason}")
+
+    def on_task_quarantined(self, task_id: str) -> None:
+        self._emit(
+            f"[repro] task {task_id} quarantined; will re-run serially"
+        )

@@ -34,6 +34,11 @@ from repro.observe.tracer import Tracer
 #: Number of scan-position bands for the candidates-alive gauges.
 DEFAULT_BANDS = 10
 
+#: Latency buckets for the supervised-task histogram (seconds).
+TASK_SECONDS_BUCKETS = (
+    0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0,
+)
+
 
 class RunObserver(ProgressObserver):
     """Observe a mining run: nested spans, metrics, progress events."""
@@ -162,6 +167,45 @@ class RunObserver(ProgressObserver):
         ).inc()
         if self.progress.enabled:
             self.progress.on_retry(site)
+
+    # ------------------------------------------------------------------
+    # Supervised-runtime hooks (repro.runtime.supervisor)
+    # ------------------------------------------------------------------
+
+    def on_task_done(
+        self,
+        task_id: str,
+        seconds: float,
+        attempt: int,
+        quarantined: bool = False,
+    ) -> None:
+        self.metrics.histogram(
+            f"{self.metrics.prefix}_task_seconds",
+            "Per-task wall-clock latency under the supervised runtime.",
+            buckets=TASK_SECONDS_BUCKETS,
+        ).observe(seconds)
+        self.metrics.counter(
+            f"{self.metrics.prefix}_tasks_completed_total",
+            "Supervised tasks completed, by path.",
+            path="quarantine" if quarantined else "pool",
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_task_done(task_id, seconds, attempt, quarantined)
+
+    def on_task_retry(self, task_id: str, reason: str) -> None:
+        # The retry/restart/quarantine *counters* are folded from the
+        # run's PipelineStats in finish() so they exist (at zero) for
+        # every supervised run; here we only forward the live event.
+        if self.progress.enabled:
+            self.progress.on_task_retry(task_id, reason)
+
+    def on_worker_restart(self, worker_id: int, reason: str) -> None:
+        if self.progress.enabled:
+            self.progress.on_worker_restart(worker_id, reason)
+
+    def on_task_quarantined(self, task_id: str) -> None:
+        if self.progress.enabled:
+            self.progress.on_task_quarantined(task_id)
 
     # ------------------------------------------------------------------
     # End of run

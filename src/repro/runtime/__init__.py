@@ -15,6 +15,12 @@ The paper proves the mining *algorithms* exact; this package keeps the
 - :mod:`repro.runtime.faults` — a deterministic fault-injection
   harness used by the test suite to prove the above (a run killed
   mid-pass-2 resumes to the byte-identical rule set).
+- :mod:`repro.runtime.supervisor` — the supervised parallel runtime
+  under the partitioned engines: spawn workers with heartbeat hang
+  detection, per-task timeout/retry, respawn of dead workers,
+  quarantine with serial re-run (exactness preserved), and a shard
+  ledger so a killed supervisor resumes with only unfinished
+  partitions.
 
 See :mod:`repro.matrix.stream` for the pipelines these wrap, and the
 "Fault tolerance & recovery" section of USAGE.md for the operator view.
@@ -33,12 +39,23 @@ from repro.runtime.faults import (
     FaultPlan,
     SimulatedCrash,
     TransientIOError,
+    WorkerFault,
+    WorkerFaultPlan,
 )
 from repro.runtime.guards import (
     MemoryBudgetExceeded,
     MemoryGuard,
     mine_with_memory_budget,
     retry_io,
+)
+from repro.runtime.supervisor import (
+    ShardLedger,
+    Supervisor,
+    SupervisorError,
+    SupervisorReport,
+    Task,
+    TaskOutcome,
+    graceful_interrupts,
 )
 from repro.runtime.validation import (
     VALIDATION_MODES,
@@ -58,9 +75,18 @@ __all__ = [
     "Pass1Checkpoint",
     "RowValidationError",
     "RowValidator",
+    "ShardLedger",
     "SimulatedCrash",
+    "Supervisor",
+    "SupervisorError",
+    "SupervisorReport",
+    "Task",
+    "TaskOutcome",
     "TransientIOError",
     "VALIDATION_MODES",
+    "WorkerFault",
+    "WorkerFaultPlan",
+    "graceful_interrupts",
     "mine_with_memory_budget",
     "retry_io",
     "source_fingerprint",

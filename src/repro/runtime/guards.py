@@ -134,6 +134,9 @@ def mine_with_memory_budget(
     budget_bytes: int = 50 * 2 ** 20,
     n_partitions: int = 4,
     n_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 2,
+    ledger_dir: Optional[str] = None,
     stats=None,
     observer=None,
 ):
@@ -151,7 +154,9 @@ def mine_with_memory_budget(
     whichever engine actually completes; on fallback the stats are
     reset so they describe the partitioned run only, and the observer
     records the attempt as a ``dmc-attempt`` span alongside the
-    fallback's phases.
+    fallback's phases.  ``task_timeout`` / ``task_retries`` /
+    ``ledger_dir`` tune the supervised runtime of the fallback (see
+    :func:`repro.core.partitioned.find_implication_rules_partitioned`).
 
     Returns ``(rules, engine)`` where ``engine`` is ``"dmc"`` or
     ``"partitioned"``.
@@ -200,11 +205,15 @@ def mine_with_memory_budget(
         if kind == "implication":
             rules = find_implication_rules_partitioned(
                 matrix, threshold, n_partitions=n_partitions,
-                n_workers=n_workers, stats=stats, observer=observer,
+                n_workers=n_workers, task_timeout=task_timeout,
+                task_retries=task_retries, ledger_dir=ledger_dir,
+                stats=stats, observer=observer,
             )
         else:
             rules = find_similarity_rules_partitioned(
                 matrix, threshold, n_partitions=n_partitions,
-                n_workers=n_workers, stats=stats, observer=observer,
+                n_workers=n_workers, task_timeout=task_timeout,
+                task_retries=task_retries, ledger_dir=ledger_dir,
+                stats=stats, observer=observer,
             )
     return rules, "partitioned"

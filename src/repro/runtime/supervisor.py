@@ -1,0 +1,762 @@
+"""Supervised parallel task execution for the partitioned engines.
+
+The Section 7 divide-and-conquer algorithm turns one mining run into
+independent per-partition tasks — exactly the workload where partial
+failure is the common case on long runs: a worker segfaults, hangs on a
+bad NFS mount, or is OOM-killed, and a bare ``multiprocessing.Pool``
+aborts the whole two-pass run.  :class:`Supervisor` executes a list of
+:class:`Task`\\ s with the recovery semantics a production run needs:
+
+- **spawn-context workers** with a dedicated task queue each, so the
+  supervisor always knows which task a dead worker was holding;
+- **per-worker result pipes** — one writer per pipe, no feeder thread,
+  no shared lock, so a worker killed mid-send can only break its *own*
+  channel (a shared ``multiprocessing.Queue`` deadlocks every other
+  writer when one dies holding the write lock);
+- **heartbeat-based hang detection** — workers stamp a shared clock
+  when they pick a task up; a task that outlives ``task_timeout`` after
+  its last heartbeat gets its worker killed and respawned;
+- **crash recovery** — a worker that dies mid-task is respawned and the
+  task retried with exponential backoff, up to ``task_retries`` times;
+- **result validation** — an optional ``validate`` callable rejects
+  corrupt results, which count as failures and retry like crashes;
+- **quarantine, not loss** — a task that exhausts its retries is
+  re-run *serially in the supervisor process* after the pool drains, so
+  a poison task degrades throughput but never drops rules (the
+  exactness guarantee survives every fault);
+- **shard ledger** — an optional :class:`ShardLedger` persists each
+  completed task's result with the same atomic-manifest discipline as
+  :mod:`repro.runtime.checkpoint`, so a killed supervisor resumes with
+  only the unfinished tasks;
+- **graceful degradation** — with ``n_workers <= 1``, a single task, or
+  no usable ``multiprocessing``, everything runs in-process through the
+  same bookkeeping.
+
+Worker-scoped faults (:class:`repro.runtime.faults.WorkerFaultPlan`)
+are shipped to the spawned workers explicitly — a spawned process does
+not inherit the parent's installed :class:`~repro.runtime.faults.
+FaultPlan` — which is what makes crash/hang/corrupt recovery testable
+deterministically.  The supervisor process itself trips the
+``"ledger.save"`` site on every ledger write.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.runtime import faults
+from repro.runtime.faults import WorkerFaultPlan
+from repro.runtime.guards import retry_io
+
+#: Exit code a worker uses for an injected hard crash (never a real one).
+WORKER_CRASH_EXIT = 23
+
+#: Bump when the ledger manifest schema changes; older ledgers are stale.
+LEDGER_VERSION = 1
+
+_LEDGER_NAME = "ledger.json"
+
+
+class SupervisorError(RuntimeError):
+    """A task failed even in the serial quarantine re-run."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One retryable unit of work: a deterministic id plus a payload.
+
+    The payload must be picklable; the id must be unique within a run
+    (it keys the ledger and the fault plan).
+    """
+
+    task_id: str
+    payload: Any
+
+
+@dataclass
+class TaskOutcome:
+    """How one task eventually completed."""
+
+    task_id: str
+    result: Any
+    attempts: int
+    seconds: float
+    quarantined: bool = False
+    from_ledger: bool = False
+
+
+@dataclass
+class SupervisorReport:
+    """The run's outcomes plus the recovery counters."""
+
+    outcomes: Dict[str, TaskOutcome] = field(default_factory=dict)
+    worker_restarts: int = 0
+    task_retries: int = 0
+    tasks_quarantined: int = 0
+    #: ``"pool"`` (spawn workers) or ``"serial"`` (in-process).
+    mode: str = "serial"
+    #: True when the pool died faster than it completed work and the
+    #: remaining tasks were finished in-process instead.
+    pool_broken: bool = False
+
+    def results(self, tasks: Sequence[Task]) -> List[Any]:
+        """The task results in the order of ``tasks``."""
+        return [self.outcomes[task.task_id].result for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# Graceful interrupts
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def graceful_interrupts() -> Iterator[None]:
+    """Convert SIGTERM into :class:`KeyboardInterrupt` while active.
+
+    A terminated run then unwinds through the same ``finally`` blocks
+    an interrupted one does — flushing ledgers and checkpoints instead
+    of dying with them torn.  No-op off the main thread or where
+    ``SIGTERM`` does not exist.
+    """
+    if (
+        threading.current_thread() is not threading.main_thread()
+        or not hasattr(signal, "SIGTERM")
+    ):
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except ValueError:  # non-main interpreter thread after all
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+# ----------------------------------------------------------------------
+# Shard ledger
+# ----------------------------------------------------------------------
+
+
+class ShardLedger:
+    """Per-task completion records with atomic-manifest persistence.
+
+    The manifest (``<dir>/ledger.json``) is written to a temp file,
+    fsynced and ``os.replace``d into place after every completed task —
+    the :mod:`repro.runtime.checkpoint` discipline — so a killed
+    supervisor leaves either the previous ledger or the new one, never
+    a torn file.  A ``fingerprint`` (source identity + mining
+    parameters) is recorded and checked on load; a mismatch discards
+    the ledger instead of resuming against different data.
+
+    Results must be JSON-serializable; callers that need richer shapes
+    pass ``decode=`` to :class:`Supervisor` to rebuild them on resume.
+    """
+
+    def __init__(
+        self, directory: str, fingerprint: Dict[str, object], observer=None
+    ) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.observer = observer
+        #: Transient manifest-write failures that were retried.
+        self.io_retries = 0
+        self._results: Dict[str, Any] = {}
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, _LEDGER_NAME)
+
+    def load(self) -> Dict[str, Any]:
+        """The recorded results, or ``{}`` on a missing/stale/torn ledger."""
+        import json
+
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            payload.get("version") != LEDGER_VERSION
+            or payload.get("fingerprint") != self.fingerprint
+            or not isinstance(payload.get("tasks"), dict)
+        ):
+            self.clear()
+            return {}
+        self._results = dict(payload["tasks"])
+        return dict(self._results)
+
+    def record(self, task_id: str, result: Any) -> None:
+        """Persist one completed task (atomic rewrite of the manifest)."""
+        self._results[task_id] = result
+        retry_io(self._write, on_retry=self._note_retry)
+
+    def clear(self) -> None:
+        """Delete the ledger file (the run completed or went stale)."""
+        self._results = {}
+        for path in (self.path, self.path + ".tmp"):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    def _note_retry(self, error: BaseException) -> None:
+        self.io_retries += 1
+        if self.observer is not None and self.observer.enabled:
+            self.observer.on_retry("ledger.save")
+
+    def _write(self) -> None:
+        import json
+
+        faults.trip("ledger.save")
+        payload = {
+            "version": LEDGER_VERSION,
+            "fingerprint": self.fingerprint,
+            "tasks": self._results,
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the spawned process)
+# ----------------------------------------------------------------------
+
+
+def _corrupt_result(result: Any) -> Any:
+    """The injected ``corrupt`` fault: a shape no validator accepts."""
+    return {"__corrupted__": repr(result)[:48]}
+
+
+def _worker_loop(
+    worker_id: int,
+    fn: Callable[[Any], Any],
+    task_queue,
+    result_conn,
+    heartbeat,
+    fault_plan: Optional[WorkerFaultPlan],
+) -> None:
+    """Entry point of a spawned worker: serve tasks until told to stop.
+
+    Messages sent over ``result_conn`` are
+    ``(task_id, attempt, status, result)`` with ``status`` in
+    ``{"ok", "error"}``; the attempt number lets the supervisor discard
+    stale results from an assignment it already gave up on.  The pipe
+    has this worker as its only writer — ``Connection.send`` writes
+    directly, with no feeder thread and no lock shared with siblings —
+    so dying mid-send cannot wedge anyone else.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, attempt, payload = item
+        heartbeat.value = time.time()
+        mode = (
+            fault_plan.match(task_id, attempt)
+            if fault_plan is not None
+            else None
+        )
+        if mode == "crash":
+            os._exit(WORKER_CRASH_EXIT)
+        if mode == "hang":
+            while True:  # hold the task forever; only a kill ends this
+                time.sleep(3600)
+        try:
+            result = fn(payload)
+            if mode == "corrupt":
+                result = _corrupt_result(result)
+            message = (task_id, attempt, "ok", result)
+        except BaseException as error:  # report, keep serving
+            message = (
+                task_id, attempt, "error",
+                f"{type(error).__name__}: {error}",
+            )
+        try:
+            result_conn.send(message)
+        except (BrokenPipeError, OSError):
+            return  # supervisor gave up on us; nothing left to serve
+        heartbeat.value = time.time()
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one spawned worker."""
+
+    __slots__ = (
+        "worker_id", "process", "task_queue", "conn", "heartbeat",
+        "task", "attempt", "assigned_at",
+    )
+
+    def __init__(
+        self, worker_id, process, task_queue, conn, heartbeat
+    ) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.task: Optional[Task] = None
+        self.attempt = 0
+        self.assigned_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def hung(self, now: float, timeout: Optional[float]) -> bool:
+        """True when the current task outlived ``timeout``.
+
+        The clock starts at the worker's last heartbeat — the moment it
+        picked the task up — so slow spawn-time imports never count
+        against the task.  Before the first heartbeat of this
+        assignment the worker is still starting; liveness is covered by
+        the ``is_alive`` check instead.
+        """
+        if timeout is None or self.task is None:
+            return False
+        picked_up = self.heartbeat.value
+        if picked_up < self.assigned_at:
+            return False
+        return now - picked_up > timeout
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+
+
+def _mp_available() -> bool:
+    """Whether spawn-context multiprocessing is usable here.
+
+    Split out (and intentionally tiny) so tests and exotic platforms
+    can force the in-process degradation path.
+    """
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context("spawn")
+    except (ImportError, ValueError):
+        return False
+    return True
+
+
+class Supervisor:
+    """Run tasks on supervised spawn workers with retry and quarantine.
+
+    Parameters
+    ----------
+    fn:
+        The task function, ``fn(payload) -> result``.  Must be a
+        module-level (picklable) callable.
+    n_workers:
+        Pool size; ``<= 1`` runs everything in-process.
+    task_timeout:
+        Seconds a task may run after its worker picked it up before the
+        worker is declared hung, killed and respawned.  ``None``
+        disables hang detection.
+    task_retries:
+        Failed attempts (crash, hang, error, corrupt result) a task may
+        accumulate before it is quarantined.
+    validate:
+        ``validate(result) -> bool``; a falsy verdict counts the
+        attempt as failed (the corrupt-result defense).
+    ledger:
+        A :class:`ShardLedger`; completed tasks are recorded as they
+        finish and skipped on the next run.  Cleared on full success.
+    decode:
+        Rebuilds a result loaded from the ledger's JSON (e.g. lists
+        back into pair tuples).
+    worker_faults:
+        A :class:`~repro.runtime.faults.WorkerFaultPlan` shipped to
+        every worker (tests only; quarantine re-runs bypass it, which
+        is what restores exactness).
+    observer:
+        Any :class:`~repro.observe.ProgressObserver`; sees
+        ``on_task_done`` / ``on_task_retry`` / ``on_worker_restart`` /
+        ``on_task_quarantined`` events.
+    backoff_base / poll_interval:
+        Retry backoff seed (doubles per failure) and the result-queue
+        poll granularity.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        n_workers: int = 2,
+        task_timeout: Optional[float] = None,
+        task_retries: int = 2,
+        validate: Optional[Callable[[Any], bool]] = None,
+        ledger: Optional[ShardLedger] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+        worker_faults: Optional[WorkerFaultPlan] = None,
+        observer=None,
+        backoff_base: float = 0.05,
+        poll_interval: float = 0.02,
+    ) -> None:
+        from repro.observe.progress import NULL_OBSERVER
+
+        if task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        self.fn = fn
+        self.n_workers = n_workers
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.validate = validate
+        self.ledger = ledger
+        self.decode = decode
+        self.worker_faults = worker_faults
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.backoff_base = backoff_base
+        self.poll_interval = poll_interval
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[Task]) -> SupervisorReport:
+        """Execute every task; return outcomes plus recovery counters.
+
+        Raises :class:`SupervisorError` only when a task fails even in
+        the serial quarantine re-run; a :class:`KeyboardInterrupt` or
+        SIGTERM mid-run tears the pool down but leaves the ledger with
+        every task that already completed.
+        """
+        seen = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+
+        report = SupervisorReport()
+        pending: List[Task] = []
+        recorded = self.ledger.load() if self.ledger is not None else {}
+        for task in tasks:
+            if task.task_id in recorded:
+                result = recorded[task.task_id]
+                if self.decode is not None:
+                    result = self.decode(result)
+                report.outcomes[task.task_id] = TaskOutcome(
+                    task_id=task.task_id, result=result, attempts=0,
+                    seconds=0.0, from_ledger=True,
+                )
+            else:
+                pending.append(task)
+
+        if pending:
+            use_pool = (
+                self.n_workers > 1 and len(pending) > 1 and _mp_available()
+            )
+            if use_pool:
+                report.mode = "pool"
+                with graceful_interrupts():
+                    self._run_pool(pending, report)
+                # A pool declared broken (workers dying faster than they
+                # complete work — e.g. spawn itself is unusable) leaves
+                # tasks unfinished; finish them in-process.
+                for task in pending:
+                    if task.task_id not in report.outcomes:
+                        self._run_serial(task, report, quarantined=False)
+            else:
+                report.mode = "serial"
+                for task in pending:
+                    self._run_serial(task, report, quarantined=False)
+
+        if self.ledger is not None:
+            # Every task accounted for: the ledger has served its purpose.
+            self.ledger.clear()
+        return report
+
+    # ------------------------------------------------------------------
+    # Serial execution (degradation and quarantine re-runs)
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, task: Task, report: SupervisorReport, quarantined: bool
+    ) -> None:
+        """Run one task in-process, with the same retry budget."""
+        attempt = 0
+        while True:
+            attempt += 1
+            started = time.perf_counter()
+            try:
+                result = self.fn(task.payload)
+            except Exception as error:
+                if attempt > self.task_retries:
+                    raise SupervisorError(
+                        f"task {task.task_id!r} failed in-process after "
+                        f"{attempt} attempt(s): {error}"
+                    ) from error
+                report.task_retries += 1
+                self._notify(
+                    "on_task_retry", task.task_id,
+                    f"{type(error).__name__}: {error}",
+                )
+                time.sleep(self.backoff_base * (2 ** (attempt - 1)))
+                continue
+            seconds = time.perf_counter() - started
+            if self.validate is not None and not self.validate(result):
+                raise SupervisorError(
+                    f"task {task.task_id!r} produced an invalid result "
+                    "in-process"
+                )
+            self._complete(task, result, attempt, seconds, report,
+                           quarantined=quarantined)
+            return
+
+    # ------------------------------------------------------------------
+    # Pool execution
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, pending: Sequence[Task], report: SupervisorReport):
+        import multiprocessing
+        from multiprocessing import connection as mp_connection
+
+        ctx = multiprocessing.get_context("spawn")
+        workers: List[_WorkerHandle] = []
+        #: (eligible_at, tiebreak, task) — retry backoff lives here.
+        ready: List = []
+        failures: Dict[str, int] = {}
+        attempts: Dict[str, int] = {}
+        started_at: Dict[str, float] = {}
+        quarantine: List[Task] = []
+        target = len(pending)
+        #: Consecutive worker deaths with no task completing in between;
+        #: past the budget the pool is declared broken and the caller
+        #: finishes the leftovers in-process.
+        deaths_without_progress = 0
+        death_budget = max(
+            6, 2 * (self.task_retries + 1), 2 * self.n_workers + 2
+        )
+
+        for sequence, task in enumerate(pending):
+            heapq.heappush(ready, (0.0, sequence, task))
+        tiebreak = len(pending)
+
+        def spawn_worker() -> _WorkerHandle:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            task_queue = ctx.Queue()
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            heartbeat = ctx.Value("d", 0.0)
+            process = ctx.Process(
+                target=_worker_loop,
+                args=(
+                    worker_id, self.fn, task_queue, send_conn,
+                    heartbeat, self.worker_faults,
+                ),
+                daemon=True,
+            )
+            process.start()
+            # Drop the parent's copy of the write end so a dead worker
+            # reads as EOF instead of an open-forever pipe.
+            send_conn.close()
+            handle = _WorkerHandle(
+                worker_id, process, task_queue, recv_conn, heartbeat
+            )
+            workers.append(handle)
+            return handle
+
+        def fail(handle: Optional[_WorkerHandle], task: Task, reason: str):
+            nonlocal tiebreak
+            count = failures.get(task.task_id, 0) + 1
+            failures[task.task_id] = count
+            if count > self.task_retries:
+                quarantine.append(task)
+                report.tasks_quarantined += 1
+                self._notify("on_task_quarantined", task.task_id)
+            else:
+                report.task_retries += 1
+                self._notify("on_task_retry", task.task_id, reason)
+                delay = self.backoff_base * (2 ** (count - 1))
+                heapq.heappush(
+                    ready, (time.time() + delay, tiebreak, task)
+                )
+                tiebreak += 1
+            if handle is not None:
+                handle.task = None
+
+        def respawn(handle: _WorkerHandle, reason: str) -> None:
+            nonlocal deaths_without_progress
+            deaths_without_progress += 1
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # terminate ignored; escalate
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            workers.remove(handle)
+            report.worker_restarts += 1
+            self._notify("on_worker_restart", handle.worker_id, reason)
+            spawn_worker()
+
+        try:
+            for _ in range(min(self.n_workers, len(pending))):
+                spawn_worker()
+
+            while True:
+                settled = sum(
+                    1 for t in pending if t.task_id in report.outcomes
+                ) + len(quarantine)
+                if settled >= target:
+                    break
+                if deaths_without_progress > death_budget:
+                    report.pool_broken = True
+                    break
+                now = time.time()
+                # 1. Hand ready tasks to idle workers.
+                for handle in workers:
+                    if not ready or handle.busy:
+                        continue
+                    if not handle.process.is_alive():
+                        continue  # picked up by the liveness sweep below
+                    eligible_at, _, task = ready[0]
+                    if eligible_at > now:
+                        continue
+                    heapq.heappop(ready)
+                    attempt = attempts.get(task.task_id, 0) + 1
+                    attempts[task.task_id] = attempt
+                    handle.task = task
+                    handle.attempt = attempt
+                    handle.assigned_at = now
+                    started_at[task.task_id] = now
+                    handle.task_queue.put(
+                        (task.task_id, attempt, task.payload)
+                    )
+
+                # 2. Drain ready results (or time out and sweep).  Each
+                #    pipe has exactly one writer, so a crashed worker
+                #    can only break its own channel — read as EOF here
+                #    and handled by the liveness sweep.
+                readable = mp_connection.wait(
+                    [w.conn for w in workers], timeout=self.poll_interval
+                )
+                for conn in readable:
+                    handle = next(
+                        (w for w in workers if w.conn is conn), None
+                    )
+                    if handle is None:
+                        continue
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        continue  # dead worker; the sweep respawns it
+                    task_id, attempt, status, result = message
+                    current = (
+                        handle.task is not None
+                        and handle.task.task_id == task_id
+                        and handle.attempt == attempt
+                    )
+                    if current:
+                        task = handle.task
+                        handle.task = None
+                        if task_id in report.outcomes:
+                            pass  # already satisfied (stale double)
+                        elif status == "ok" and (
+                            self.validate is None or self.validate(result)
+                        ):
+                            deaths_without_progress = 0
+                            seconds = time.time() - started_at[task_id]
+                            self._complete(
+                                task, result, attempt, seconds, report,
+                                quarantined=False,
+                            )
+                        elif status == "ok":
+                            fail(None, task, "corrupt result")
+                        else:
+                            fail(None, task, str(result))
+                    # else: a stale result for an assignment the
+                    # supervisor already gave up on — drop it.
+
+                # 3. Liveness and hang sweep.
+                now = time.time()
+                for handle in list(workers):
+                    if not handle.process.is_alive():
+                        task = handle.task
+                        respawn(
+                            handle,
+                            f"exited with code {handle.process.exitcode}",
+                        )
+                        if task is not None:
+                            fail(None, task, "worker died mid-task")
+                    elif handle.hung(now, self.task_timeout):
+                        task = handle.task
+                        handle.task = None
+                        respawn(handle, "task timeout (hung)")
+                        fail(None, task, "task timeout")
+        finally:
+            for handle in workers:
+                try:
+                    handle.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+            deadline = time.time() + 5.0
+            for handle in workers:
+                handle.process.join(timeout=max(0.1, deadline - time.time()))
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+
+        # 4. Quarantined tasks re-run serially in-process: slower, but
+        #    exact — the worker-scoped faults cannot follow them here.
+        for task in quarantine:
+            self._run_serial(task, report, quarantined=True)
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _complete(
+        self,
+        task: Task,
+        result: Any,
+        attempt: int,
+        seconds: float,
+        report: SupervisorReport,
+        quarantined: bool,
+    ) -> None:
+        report.outcomes[task.task_id] = TaskOutcome(
+            task_id=task.task_id,
+            result=result,
+            attempts=attempt,
+            seconds=seconds,
+            quarantined=quarantined,
+        )
+        if self.ledger is not None:
+            self.ledger.record(task.task_id, result)
+        self._notify(
+            "on_task_done", task.task_id, seconds, attempt, quarantined
+        )
+
+    def _notify(self, hook: str, *args) -> None:
+        if self.observer.enabled:
+            getattr(self.observer, hook)(*args)

@@ -2,10 +2,56 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.matrix.binary_matrix import BinaryMatrix
+
+#: Watchdog for any single test when pytest-timeout is unavailable.
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+def _watchdog_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    return DEFAULT_TEST_TIMEOUT
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """A SIGALRM per-test watchdog when pytest-timeout is not installed.
+
+    The supervisor tests exercise hang recovery with real spawned
+    processes; a regression there must fail the test, not wedge the
+    whole suite.  Defers to the real pytest-timeout plugin when
+    present, and is a no-op off POSIX or off the main thread (SIGALRM
+    cannot be delivered there).
+    """
+    if (
+        item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = _watchdog_seconds(item)
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:g}s watchdog (SIGALRM fallback)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_addoption(parser):

@@ -27,6 +27,18 @@ class TestParser:
         assert args.minconf == 0.8
         assert args.limit == 5
 
+    def test_supervised_worker_options(self):
+        args = build_parser().parse_args(
+            ["mine-imp", "data.txt", "--workers", "3", "--partitions",
+             "6", "--task-timeout", "5", "--task-retries", "1",
+             "--ledger", "/tmp/ledger"]
+        )
+        assert args.workers == 3
+        assert args.partitions == 6
+        assert args.task_timeout == 5.0
+        assert args.task_retries == 1
+        assert args.ledger == "/tmp/ledger"
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
@@ -83,6 +95,38 @@ class TestMiningCommands:
     def test_missing_file(self, capsys, tmp_path):
         assert main(["mine-imp", str(tmp_path / "nope.txt")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+    def test_workers_conflicts_with_stream(self, capsys, transactions_file):
+        code = main(
+            ["mine-imp", transactions_file, "--stream", "--workers", "2"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_ledger_conflicts_with_checkpoint(
+        self, capsys, transactions_file, tmp_path
+    ):
+        code = main(
+            ["mine-imp", transactions_file,
+             "--checkpoint", str(tmp_path / "c"),
+             "--ledger", str(tmp_path / "l")]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_supervised_workers_match_serial(
+        self, capsys, transactions_file
+    ):
+        assert main(
+            ["mine-imp", transactions_file, "--minconf", "0.9"]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["mine-imp", transactions_file, "--minconf", "0.9",
+             "--workers", "2", "--partitions", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
 
 
 class TestGenerateCommand:

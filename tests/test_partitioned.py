@@ -33,6 +33,35 @@ class TestPartitioning:
         with pytest.raises(ValueError):
             _partition_rows(matrix, 0)
 
+    def test_every_row_exactly_once(self):
+        """No row is lost or duplicated, for any partition count."""
+        for n_rows in (1, 2, 7, 10, 23):
+            matrix = BinaryMatrix([[0]] * n_rows, n_columns=1)
+            for n_partitions in (1, 2, 3, 5, 8, 40):
+                chunks = _partition_rows(matrix, n_partitions)
+                flat = [r for chunk in chunks for r in chunk]
+                assert sorted(flat) == list(range(n_rows)), (
+                    n_rows, n_partitions,
+                )
+
+    def test_partition_sizes_balanced_within_one(self):
+        """Round-robin keeps non-empty chunk sizes within +-1."""
+        for n_rows in (5, 9, 16, 31):
+            matrix = BinaryMatrix([[0]] * n_rows, n_columns=1)
+            for n_partitions in (2, 3, 4, 7):
+                sizes = [
+                    len(chunk)
+                    for chunk in _partition_rows(matrix, n_partitions)
+                ]
+                assert max(sizes) - min(sizes) <= 1, (n_rows, n_partitions)
+
+    def test_empty_matrix_mines_no_rules(self):
+        matrix = BinaryMatrix([], n_columns=3)
+        rules = find_implication_rules_partitioned(
+            matrix, 0.7, n_partitions=4, n_workers=4
+        )
+        assert len(rules) == 0
+
 
 class TestImplication:
     def test_matches_oracle(self):
@@ -75,6 +104,24 @@ class TestImplication:
             )
         assert len(log) == 3
 
+    def test_candidate_log_matches_stats(self):
+        """The deprecated shim and stats see the same per-partition
+        counts, and both mine the same rules as the plain call."""
+        from repro.core.stats import PipelineStats
+
+        matrix = random_binary_matrix(4)
+        log = []
+        stats = PipelineStats()
+        with pytest.warns(DeprecationWarning):
+            shimmed = find_implication_rules_partitioned(
+                matrix, 0.8, n_partitions=3, candidate_log=log, stats=stats
+            ).pairs()
+        assert log == stats.partition_candidates
+        plain = find_implication_rules_partitioned(
+            matrix, 0.8, n_partitions=3
+        ).pairs()
+        assert shimmed == plain
+
 
 class TestSimilarity:
     def test_matches_oracle(self):
@@ -97,3 +144,13 @@ class TestSimilarity:
             assert rule.intersection == len(
                 sets[rule.first] & sets[rule.second]
             )
+
+    def test_candidate_log_deprecation_shim(self):
+        matrix = random_binary_matrix(3)
+        log = []
+        with pytest.warns(DeprecationWarning):
+            find_similarity_rules_partitioned(
+                matrix, 0.5, n_partitions=3, candidate_log=log
+            )
+        assert len(log) == 3
+        assert all(count >= 0 for count in log)
