@@ -1,0 +1,93 @@
+"""Gate on the durable write discipline's clean-run overhead.
+
+Reads a ``BENCH_streaming.json`` document (written by
+``python -m benchmarks.bench_streaming --json``) and compares the
+``test_streaming_checkpoint_durable`` run (full fsync discipline —
+buckets fsynced before the manifest references them, manifest written
+via fsync + atomic rename + parent-directory fsync) against the
+``test_streaming_checkpoint_fsync_off`` baseline, which runs the same
+checkpointed pipeline with the physical fsyncs turned off.  Exits
+non-zero when durability costs more than the threshold (default 5%) on
+a clean run — crash safety must be cheap when nothing crashes.
+
+The comparison uses each benchmark's *minimum* round (the statistic
+least disturbed by scheduler noise) plus an absolute floor sized for
+fsync latency jitter on shared CI disks.
+
+Usage::
+
+    python -m benchmarks.check_storage_overhead BENCH_streaming.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+BASELINE = "test_streaming_checkpoint_fsync_off"
+CANDIDATE = "test_streaming_checkpoint_durable"
+
+#: Ignore differences below this many seconds regardless of ratio — a
+#: handful of fsyncs on a loaded CI disk can jitter by this much even
+#: though the steady-state cost is microseconds.
+ABSOLUTE_FLOOR_SECONDS = 0.1
+
+
+class OverheadExceeded(RuntimeError):
+    """Durability slowed the clean run past the threshold."""
+
+
+def _lookup(document: Dict, name: str) -> Dict:
+    for entry in document.get("benchmarks", []):
+        if entry["name"] == name:
+            return entry
+    raise KeyError(
+        f"benchmark {name!r} not found in document "
+        f"(module {document.get('module')!r})"
+    )
+
+
+def check(document: Dict, threshold: float) -> str:
+    """Return a verdict line, or raise :class:`OverheadExceeded`."""
+    baseline = _lookup(document, BASELINE)["min_seconds"]
+    candidate = _lookup(document, CANDIDATE)["min_seconds"]
+    overhead = candidate - baseline
+    ratio = overhead / baseline if baseline > 0 else 0.0
+    verdict = (
+        f"durable-storage clean-run overhead: {overhead * 1000:+.1f}ms "
+        f"({ratio * 100:+.2f}%) on a {baseline * 1000:.1f}ms fsync-off "
+        f"baseline (threshold {threshold * 100:.0f}%)"
+    )
+    if overhead > ABSOLUTE_FLOOR_SECONDS and ratio > threshold:
+        raise OverheadExceeded(verdict)
+    return verdict
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.check_storage_overhead",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "document", help="path to BENCH_streaming.json"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="maximum allowed relative overhead (default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.document, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        verdict = check(document, args.threshold)
+    except OverheadExceeded as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

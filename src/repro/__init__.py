@@ -70,10 +70,14 @@ from repro.observe import (
 )
 from repro.runtime import (
     CheckpointStore,
+    FaultyStorage,
+    LocalStorage,
     MemoryBudgetExceeded,
     MemoryGuard,
     RowValidationError,
     RowValidator,
+    Storage,
+    StorageFull,
     mine_with_memory_budget,
 )
 
@@ -84,7 +88,9 @@ __all__ = [
     "BitmapConfig",
     "CheckpointStore",
     "ConsoleProgress",
+    "FaultyStorage",
     "ImplicationRule",
+    "LocalStorage",
     "MemoryBudgetExceeded",
     "MemoryGuard",
     "MetricsRegistry",
@@ -99,6 +105,8 @@ __all__ = [
     "RuleSet",
     "RunObserver",
     "SimilarityRule",
+    "Storage",
+    "StorageFull",
     "Tracer",
     "Vocabulary",
     "__version__",

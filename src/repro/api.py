@@ -90,6 +90,23 @@ class MiningConfig:
         the partitioned engine when exceeded (in-memory data only).
     spill_dir / checkpoint_dir:
         Streaming-engine directories (see :mod:`repro.matrix.stream`).
+    storage:
+        The durable-I/O backend every checkpoint, spill bucket and
+        ledger write goes through (a :class:`repro.runtime.storage.
+        Storage`; ``None`` means the local filesystem with full fsync
+        discipline).  Inject a
+        :class:`~repro.runtime.storage.FaultyStorage` in tests, or
+        ``LocalStorage(durable=False)`` to skip the physical fsyncs.
+    spill_degrade:
+        When a terminal storage fault (disk full / read-only) hits the
+        streaming spill, redo the run on the in-memory engine instead
+        of raising :class:`~repro.runtime.storage.StorageFull`
+        (default True; rules are identical either way).  Checkpoint and
+        ledger writes always degrade to "off with a warning".
+    preflight_disk:
+        Check free disk space against the estimated spill footprint
+        before the streaming pass 1 writes anything (degrades or raises
+        per ``spill_degrade``).
     observer:
         Any :class:`~repro.observe.ProgressObserver`; pass a
         :class:`~repro.observe.RunObserver` to collect a trace and
@@ -110,6 +127,9 @@ class MiningConfig:
     memory_budget: Optional[int] = None
     spill_dir: Optional[str] = None
     checkpoint_dir: Optional[str] = None
+    storage: Optional[object] = None
+    spill_degrade: bool = True
+    preflight_disk: bool = False
     observer: Optional[object] = None
 
     def __post_init__(self) -> None:
@@ -246,6 +266,9 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             guard=options.memory_guard,
             stats=stats,
             observer=observer,
+            storage=config.storage,
+            spill_degrade=config.spill_degrade,
+            preflight=config.preflight_disk,
         )
         engine = "stream"
     elif config.memory_budget is not None:
@@ -259,6 +282,7 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             task_timeout=config.task_timeout,
             task_retries=config.task_retries,
             ledger_dir=config.ledger_dir,
+            storage=config.storage,
             stats=stats,
             observer=observer,
         )
@@ -276,6 +300,7 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             task_timeout=config.task_timeout,
             task_retries=config.task_retries,
             ledger_dir=config.ledger_dir,
+            storage=config.storage,
             stats=stats,
             observer=observer,
         )

@@ -132,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
                  "(implies --workers 2)",
         )
         sub.add_argument(
+            "--no-spill-degrade", action="store_true",
+            help="on a disk-full/read-only fault during a streaming "
+                 "spill, fail with a StorageFull error instead of "
+                 "redoing the run on the in-memory engine",
+        )
+        sub.add_argument(
+            "--preflight-disk", action="store_true",
+            help="check free disk space against the estimated spill "
+                 "footprint before the streaming pass 1 writes anything",
+        )
+        sub.add_argument(
             "--metrics", metavar="PATH", default=None,
             help="write run metrics to PATH (JSON, or Prometheus text "
                  "when PATH ends in .prom/.txt)",
@@ -230,6 +241,7 @@ def _export_observations(args: argparse.Namespace, observer) -> None:
 
 
 def _mine(args: argparse.Namespace) -> int:
+    from repro.runtime.storage import StorageFull
     from repro.runtime.validation import RowValidationError, RowValidator
 
     validator = None
@@ -289,13 +301,25 @@ def _mine(args: argparse.Namespace) -> int:
             result = mine(
                 data,
                 checkpoint_dir=getattr(args, "checkpoint", None),
+                spill_degrade=not getattr(args, "no_spill_degrade", False),
+                preflight_disk=getattr(args, "preflight_disk", False),
                 observer=observer,
                 **supervised,
                 **threshold,
             )
             rules = result.rules
+            if result.stats.degradations:
+                print(
+                    "storage degradations taken: "
+                    + ", ".join(result.stats.degradations),
+                    file=sys.stderr,
+                )
     except RowValidationError as error:
         print(f"invalid input: {error}", file=sys.stderr)
+        return 1
+    except StorageFull as error:
+        print(f"storage fault (no degradation allowed): {error}",
+              file=sys.stderr)
         return 1
     except (OSError, ValueError) as error:
         print(f"cannot read {args.path}: {error}", file=sys.stderr)

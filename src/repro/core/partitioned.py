@@ -47,6 +47,7 @@ from repro.core.thresholds import (
 from repro.matrix.binary_matrix import BinaryMatrix
 from repro.matrix.reorder import scan_order
 from repro.observe.progress import NULL_OBSERVER
+from repro.runtime.storage import io_error_kind, terminal_io_error
 
 
 class _AllPairsImplicationPolicy(ImplicationPolicy):
@@ -149,6 +150,7 @@ def _local_candidates(
     ledger_dir: Optional[str] = None,
     supervise: bool = True,
     worker_faults=None,
+    storage=None,
 ) -> Set[Tuple[int, int]]:
     """Mine every partition (serially, supervised, or in a bare pool)
     and union the locally-valid pairs."""
@@ -177,18 +179,34 @@ def _local_candidates(
             ]
             ledger = None
             if ledger_dir is not None:
-                ledger = ShardLedger(
-                    ledger_dir,
-                    fingerprint={
-                        "kind": kind,
-                        "threshold": str(threshold),
-                        "partitions": len(jobs),
-                        "rows": matrix.n_rows,
-                        "columns": matrix.n_columns,
-                        "nnz": matrix.nnz,
-                    },
-                    observer=observer,
-                )
+                try:
+                    ledger = ShardLedger(
+                        ledger_dir,
+                        fingerprint={
+                            "kind": kind,
+                            "threshold": str(threshold),
+                            "partitions": len(jobs),
+                            "rows": matrix.n_rows,
+                            "columns": matrix.n_columns,
+                            "nnz": matrix.nnz,
+                        },
+                        observer=observer,
+                        storage=storage,
+                    )
+                except OSError as error:
+                    if not terminal_io_error(error):
+                        raise
+                    # The ledger directory is unusable (full/read-only);
+                    # mine without partition-level resume.
+                    stats.degradations.append("ledger-off")
+                    if observer is not None and observer.enabled:
+                        observer.on_io_error(io_error_kind(error))
+                        observer.on_degradation("ledger-off")
+                    warnings.warn(
+                        f"shard ledger disabled: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             supervisor = Supervisor(
                 _mine_chunk,
                 n_workers=n_workers,
@@ -205,6 +223,8 @@ def _local_candidates(
             stats.worker_restarts += report.worker_restarts
             stats.task_retries += report.task_retries
             stats.tasks_quarantined += report.tasks_quarantined
+            if report.ledger_disabled:
+                stats.degradations.append("ledger-off")
         else:
             import multiprocessing
 
@@ -236,6 +256,7 @@ def find_implication_rules_partitioned(
     ledger_dir: Optional[str] = None,
     supervise: bool = True,
     worker_faults=None,
+    storage=None,
 ) -> RuleSet:
     """Mine implication rules by partitioned candidate generation.
 
@@ -271,7 +292,7 @@ def find_implication_rules_partitioned(
             sinks, stats, observer,
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
-            worker_faults=worker_faults,
+            worker_faults=worker_faults, storage=storage,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections
@@ -314,6 +335,7 @@ def find_similarity_rules_partitioned(
     ledger_dir: Optional[str] = None,
     supervise: bool = True,
     worker_faults=None,
+    storage=None,
 ) -> RuleSet:
     """Mine similarity rules by partitioned candidate generation.
 
@@ -340,7 +362,7 @@ def find_similarity_rules_partitioned(
             sinks, stats, observer,
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
-            worker_faults=worker_faults,
+            worker_faults=worker_faults, storage=storage,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections

@@ -193,6 +193,10 @@ class PipelineStats:
     task_retries: int = 0
     #: Tasks that exhausted their retries and re-ran serially in-process.
     tasks_quarantined: int = 0
+    #: Degradations taken when storage faulted, in order — e.g.
+    #: ``"spill-to-memory"``, ``"checkpoint-off"``, ``"ledger-off"``.
+    #: Empty for a clean run.
+    degradations: List[str] = field(default_factory=list)
 
     @property
     def peak_bytes(self) -> int:
@@ -232,6 +236,7 @@ class PipelineStats:
             "worker_restarts": self.worker_restarts,
             "task_retries": self.task_retries,
             "tasks_quarantined": self.tasks_quarantined,
+            "degradations": list(self.degradations),
         }
 
     @classmethod
@@ -255,4 +260,5 @@ class PipelineStats:
             worker_restarts=record.get("worker_restarts", 0),
             task_retries=record.get("task_retries", 0),
             tasks_quarantined=record.get("tasks_quarantined", 0),
+            degradations=list(record.get("degradations", [])),
         )

@@ -32,14 +32,27 @@ Resilience (see :mod:`repro.runtime`):
   the counter array's memory;
 - spill-bucket reads retry transient I/O errors with backoff, and the
   whole pipeline is instrumented with fault-injection sites
-  (:mod:`repro.runtime.faults`).
+  (:mod:`repro.runtime.faults`);
+- all durable I/O (bucket files, checkpoint manifest) goes through an
+  injectable :class:`repro.runtime.storage.Storage` — pass ``storage=``
+  to substitute a :class:`~repro.runtime.storage.FaultyStorage` in
+  tests, or ``LocalStorage(durable=False)`` to benchmark without the
+  physical fsyncs;
+- a *terminal* storage fault (disk full / quota / read-only — see
+  :class:`repro.runtime.storage.StorageFull`) walks the degradation
+  ladder instead of aborting: a failed checkpoint write switches
+  checkpointing **off with a warning** and the mine continues, a failed
+  spill write redoes the run on the **in-memory engine** (exact same
+  rules; disable with ``spill_degrade=False``).  ``preflight=True``
+  checks ``disk_usage`` against the estimated spill footprint before
+  pass 1 writes a single bucket.
 """
 
 from __future__ import annotations
 
 import os
-import shutil
 import tempfile
+import warnings
 from typing import Iterable, Iterator, List, Optional, Set, TextIO, Tuple
 
 from repro.core.miss_counting import BitmapConfig
@@ -66,7 +79,17 @@ from repro.runtime.checkpoint import (
     Pass1Checkpoint,
     source_fingerprint,
 )
-from repro.runtime.guards import retry_io
+from repro.runtime.guards import (
+    ensure_disk_space,
+    estimate_spill_bytes,
+    retry_io,
+)
+from repro.runtime.storage import (
+    LOCAL_STORAGE,
+    StorageFull,
+    io_error_kind,
+    terminal_io_error,
+)
 from repro.runtime.supervisor import graceful_interrupts
 from repro.runtime.validation import RowValidator
 
@@ -233,21 +256,30 @@ class BucketSpill:
 
     Bucket reads go through :func:`repro.runtime.guards.retry_io` (the
     ``"spill.open"`` fault site), so transient I/O errors back off and
-    retry instead of killing pass 2.
+    retry instead of killing pass 2.  All file operations route through
+    ``storage`` (a :class:`repro.runtime.storage.Storage`; the local
+    filesystem by default).
     """
 
     def __init__(
-        self, directory: Optional[str] = None, durable: bool = False
+        self,
+        directory: Optional[str] = None,
+        durable: bool = False,
+        storage=None,
     ) -> None:
+        self.storage = storage if storage is not None else LOCAL_STORAGE
         if durable:
             if directory is None:
                 raise ValueError("a durable spill needs an explicit directory")
-            os.makedirs(directory, exist_ok=True)
+            self.storage.makedirs(directory)
             self._directory = directory
         else:
+            if directory is not None:
+                self.storage.makedirs(directory)
             self._directory = tempfile.mkdtemp(
                 prefix="dmc-buckets-", dir=directory
             )
+        self._durable = durable
         self._delete_on_close = not durable
         self._handles: List[TextIO] = []
         self._paths: List[str] = []
@@ -262,11 +294,11 @@ class BucketSpill:
 
     @classmethod
     def from_checkpoint(
-        cls, directory: str, checkpoint: Pass1Checkpoint
+        cls, directory: str, checkpoint: Pass1Checkpoint, storage=None
     ) -> "BucketSpill":
         """Reopen (read-only) the buckets recorded in a verified
         pass-1 checkpoint."""
-        spill = cls(directory=directory, durable=True)
+        spill = cls(directory=directory, durable=True, storage=storage)
         spill._paths = [
             os.path.join(directory, bucket.name)
             for bucket in checkpoint.buckets
@@ -285,7 +317,13 @@ class BucketSpill:
         self.close()
 
     def add(self, row: Tuple[int, ...]) -> None:
-        """Spill one non-empty row to its density bucket."""
+        """Spill one non-empty row to its density bucket.
+
+        A failed write removes the partial bucket file before the error
+        propagates — a truncated bucket must never survive to fail the
+        checkpoint's fingerprint check on resume (and the caller is
+        about to degrade or die anyway).
+        """
         if not self._writable:
             raise RuntimeError("spill is finished or closed (read-only)")
         if not row:
@@ -295,12 +333,34 @@ class BucketSpill:
             path = os.path.join(
                 self._directory, f"bucket-{len(self._handles):02d}.txt"
             )
+            handle = self.storage.open(path, "w", encoding="utf-8")
             self._paths.append(path)
-            self._handles.append(open(path, "w", encoding="utf-8"))
+            self._handles.append(handle)
             self._rows_per_bucket.append(0)
-        self._handles[bucket].write(" ".join(map(str, row)) + "\n")
+        try:
+            self._handles[bucket].write(" ".join(map(str, row)) + "\n")
+        except OSError:
+            self._discard_partial(bucket)
+            raise
         self._rows_per_bucket[bucket] += 1
         self.rows_spilled += 1
+
+    def _discard_partial(self, bucket: int) -> None:
+        """Drop a bucket whose write failed: close the handle and remove
+        the truncated file (best effort — the disk may be the problem).
+        The spill is no longer writable; the run degrades or dies."""
+        self._writable = False
+        try:
+            self._handles[bucket].close()
+        except OSError:
+            pass
+        try:
+            self.storage.remove(self._paths[bucket], missing_ok=True)
+        except OSError:
+            pass
+        del self._handles[bucket]
+        del self._paths[bucket]
+        del self._rows_per_bucket[bucket]
 
     @property
     def n_buckets(self) -> int:
@@ -317,14 +377,22 @@ class BucketSpill:
         ]
 
     def finish(self) -> None:
-        """Flush and close the write handles, keeping the files.
+        """Flush, fsync and close the write handles, keeping the files.
 
         Call after pass 1 so checksums (and readers) see the complete
-        bucket contents; the spill becomes read-only.
+        bucket contents; the spill becomes read-only.  Durable spills
+        fsync every bucket here, *before* the checkpoint manifest
+        records their checksums — the manifest must only ever reference
+        bytes that survive a power cut.
         """
         self._writable = False
         errors = []
         for handle in self._handles:
+            try:
+                if self._durable:
+                    self.storage.fsync(handle)
+            except OSError as error:
+                errors.append(error)
             try:
                 handle.close()
             except OSError as error:
@@ -348,6 +416,7 @@ class BucketSpill:
             handle = retry_io(
                 lambda path=path: self._open_bucket(path),
                 on_retry=self._note_retry,
+                on_giveup=self._note_giveup,
             )
             with handle:
                 for line in handle:
@@ -355,12 +424,17 @@ class BucketSpill:
 
     def _open_bucket(self, path: str) -> TextIO:
         faults.trip("spill.open")
-        return open(path, "r", encoding="utf-8")
+        return self.storage.open(path, "r", encoding="utf-8")
 
     def _note_retry(self, error: BaseException) -> None:
         self.io_retries += 1
         if self.observer.enabled:
             self.observer.on_retry("spill.open")
+            self.observer.on_io_error(io_error_kind(error))
+
+    def _note_giveup(self, error: BaseException) -> None:
+        if self.observer.enabled:
+            self.observer.on_io_error(io_error_kind(error))
 
     def close(self) -> None:
         """Release the spill: close every handle, then clean up.
@@ -384,7 +458,10 @@ class BucketSpill:
         self._handles = []
         self._paths = []
         if self._delete_on_close:
-            shutil.rmtree(self._directory, ignore_errors=True)
+            try:
+                self.storage.rmtree(self._directory)
+            except OSError:
+                pass  # cleanup on a faulted disk is best effort
         if errors:
             raise errors[0]
 
@@ -473,6 +550,53 @@ def _record_validation(
     )
 
 
+def _note_degradation(stats, observer, path: str, error: BaseException) -> None:
+    """Record one degradation into the stats and the observer."""
+    stats.degradations.append(path)
+    if observer.enabled:
+        observer.on_io_error(io_error_kind(error))
+        observer.on_degradation(path)
+
+
+def _in_memory_fallback(
+    source: TransactionSource,
+    threshold,
+    kind: str,
+    bitmap: Optional[BitmapConfig],
+    guard,
+    stats: PipelineStats,
+    observer,
+) -> RuleSet:
+    """Redo a mine entirely in memory (the spill degradation target).
+
+    Materializes the source as a :class:`BinaryMatrix` and runs the
+    standard in-memory engine — the exact same rules, no disk beyond
+    the source itself.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core.dmc_imp import PruningOptions, find_implication_rules
+    from repro.core.dmc_sim import find_similarity_rules
+    from repro.matrix.binary_matrix import BinaryMatrix
+
+    matrix = getattr(source, "_matrix", None)
+    if matrix is None:
+        matrix = BinaryMatrix(
+            source.iter_rows(), n_columns=source.n_columns()
+        )
+    options = dc_replace(PruningOptions(), bitmap=bitmap, memory_guard=guard)
+    with observer.span("in-memory-fallback"):
+        if kind == "implication":
+            return find_implication_rules(
+                matrix, threshold, options=options,
+                stats=stats, observer=observer,
+            )
+        return find_similarity_rules(
+            matrix, threshold, options=options,
+            stats=stats, observer=observer,
+        )
+
+
 def _stream_rules(
     source: TransactionSource,
     threshold,
@@ -483,6 +607,9 @@ def _stream_rules(
     guard,
     stats: Optional[PipelineStats],
     observer=None,
+    storage=None,
+    spill_degrade: bool = True,
+    preflight: bool = False,
 ) -> RuleSet:
     """The shared two-pass pipeline behind both stream entry points.
 
@@ -490,12 +617,58 @@ def _stream_rules(
     SIGTERM unwinds like Ctrl-C, so the spill buckets close and the
     pass-1 checkpoint (written *before* pass 2 starts) survives for
     the next run to resume from.
+
+    A terminal storage fault while spilling (disk full / read-only)
+    abandons the on-disk attempt and — unless ``spill_degrade=False`` —
+    redoes the run on the in-memory engine; the stats are reset so they
+    describe the run that actually produced the rules, with the
+    degradation recorded in ``stats.degradations``.
     """
     threshold = as_fraction(threshold)
     if stats is None:
         stats = PipelineStats()
     if observer is None:
         observer = NULL_OBSERVER
+    try:
+        return _stream_rules_on_disk(
+            source, threshold, kind, bitmap, spill_dir, checkpoint_dir,
+            guard, stats, observer, storage, preflight,
+        )
+    except OSError as error:
+        if not terminal_io_error(error):
+            raise
+        if not spill_degrade:
+            if isinstance(error, StorageFull):
+                raise
+            raise StorageFull(*error.args) from error
+        stats.__init__()  # the aborted attempt's numbers would mislead
+        _note_degradation(stats, observer, "spill-to-memory", error)
+        warnings.warn(
+            f"streaming spill hit a terminal storage fault "
+            f"({io_error_kind(error)}); redoing the run in memory",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _in_memory_fallback(
+            source, threshold, kind, bitmap, guard, stats, observer
+        )
+
+
+def _stream_rules_on_disk(
+    source: TransactionSource,
+    threshold,
+    kind: str,
+    bitmap: Optional[BitmapConfig],
+    spill_dir: Optional[str],
+    checkpoint_dir: Optional[str],
+    guard,
+    stats: PipelineStats,
+    observer,
+    storage,
+    preflight: bool,
+) -> RuleSet:
+    """One on-disk two-pass attempt (checkpointing degrades to off in
+    place; terminal spill faults propagate to :func:`_stream_rules`)."""
     rules = RuleSet()
     validator = getattr(source, "validator", None)
     skipped_before = validator.rows_skipped if validator else 0
@@ -504,45 +677,107 @@ def _stream_rules(
     store: Optional[CheckpointStore] = None
     spill: Optional[BucketSpill] = None
     ones: Optional[List[int]] = None
+    fingerprint = params = None
     if checkpoint_dir is not None:
-        store = CheckpointStore(checkpoint_dir, observer=observer)
         fingerprint = source_fingerprint(source)
         params = {"kind": kind, "threshold": str(threshold)}
         try:
-            with observer.span("checkpoint-load"):
-                checkpoint = store.load_pass1(fingerprint, params)
-        except CheckpointError:
-            # Stale or corrupted: discard and rescan from scratch.
-            store.clear()
-            checkpoint = None
-        if checkpoint is not None:
-            spill = BucketSpill.from_checkpoint(
-                store.buckets_directory, checkpoint
+            store = CheckpointStore(
+                checkpoint_dir, observer=observer, storage=storage
             )
-            ones = list(checkpoint.ones)
+            try:
+                with observer.span("checkpoint-load"):
+                    checkpoint = store.load_pass1(fingerprint, params)
+            except CheckpointError:
+                # Stale or corrupted: discard and rescan from scratch.
+                store.clear()
+                checkpoint = None
+            if checkpoint is not None:
+                spill = BucketSpill.from_checkpoint(
+                    store.buckets_directory, checkpoint, storage=storage
+                )
+                ones = list(checkpoint.ones)
+        except OSError as error:
+            if not terminal_io_error(error):
+                raise
+            # The checkpoint directory is unusable (full/read-only);
+            # mine without checkpointing rather than fail the run.
+            _note_degradation(stats, observer, "checkpoint-off", error)
+            warnings.warn(
+                f"checkpointing disabled: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            store = None
+            spill = None
+            ones = None
+
+    if preflight and spill is None:
+        if store is not None:
+            target = store.buckets_directory
+        else:
+            target = spill_dir if spill_dir is not None else tempfile.gettempdir()
+        ensure_disk_space(
+            target, estimate_spill_bytes(source=source), storage=storage
+        )
 
     try:
         with graceful_interrupts():
             if spill is None:
                 if store is not None:
-                    spill = BucketSpill(
-                        directory=store.prepare_buckets(), durable=True
-                    )
-                else:
-                    spill = BucketSpill(directory=spill_dir)
+                    try:
+                        spill = BucketSpill(
+                            directory=store.prepare_buckets(),
+                            durable=True,
+                            storage=storage,
+                        )
+                    except OSError as error:
+                        if not terminal_io_error(error):
+                            raise
+                        # The checkpoint directory cannot take the
+                        # buckets; spill somewhere temporary instead
+                        # and mine without resume protection.
+                        _note_degradation(
+                            stats, observer, "checkpoint-off", error
+                        )
+                        warnings.warn(
+                            f"checkpointing disabled: {error}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        store = None
+                if spill is None:
+                    spill = BucketSpill(directory=spill_dir, storage=storage)
                 with stats.timer.phase("pre-scan"), observer.phase("pre-scan"):
                     ones = _first_scan(source, spill)
                 _record_validation(source, stats, skipped_before, clamped_before)
                 if store is not None:
-                    spill.finish()
-                    with observer.span("checkpoint-save"):
-                        store.save_pass1(
-                            ones,
-                            spill.bucket_files(),
-                            spill.rows_spilled,
-                            fingerprint,
-                            params,
+                    try:
+                        spill.finish()
+                        with observer.span("checkpoint-save"):
+                            store.save_pass1(
+                                ones,
+                                spill.bucket_files(),
+                                spill.rows_spilled,
+                                fingerprint,
+                                params,
+                            )
+                    except OSError as error:
+                        if not terminal_io_error(error):
+                            raise
+                        # The buckets are written and readable — only
+                        # their durable checkpoint failed.  Finish the
+                        # mine without resume protection.
+                        _note_degradation(
+                            stats, observer, "checkpoint-off", error
                         )
+                        warnings.warn(
+                            f"checkpointing disabled: {error}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        store = None
+                        spill._delete_on_close = True
             stats.columns_total = len(ones)
 
             if kind == "implication":
@@ -602,7 +837,16 @@ def _stream_rules(
 
     if store is not None:
         # The run completed; the checkpoint has served its purpose.
-        store.clear()
+        try:
+            store.clear()
+        except OSError as error:
+            if not terminal_io_error(error):
+                raise
+            warnings.warn(
+                f"could not remove the finished checkpoint: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return rules
 
 
@@ -615,6 +859,9 @@ def stream_implication_rules(
     guard=None,
     stats: Optional[PipelineStats] = None,
     observer=None,
+    storage=None,
+    spill_degrade: bool = True,
+    preflight: bool = False,
 ) -> RuleSet:
     """Two-pass DMC-imp over a streaming source.
 
@@ -633,10 +880,21 @@ def stream_implication_rules(
     validation/retry counters.  ``observer`` (any
     :class:`repro.observe.ProgressObserver`) additionally sees bucket
     replays, checkpoint save/load spans and I/O retries.
+
+    ``storage`` substitutes the durable-I/O backend
+    (:class:`repro.runtime.storage.Storage`; local filesystem by
+    default).  On a terminal storage fault (disk full / read-only) the
+    run degrades instead of aborting: checkpointing switches off with a
+    warning, and a failed spill redoes the run on the in-memory engine
+    — identical rules either way (``spill_degrade=False`` re-raises the
+    :class:`~repro.runtime.storage.StorageFull` instead).
+    ``preflight=True`` checks free disk space against the estimated
+    spill footprint before pass 1 starts.
     """
     return _stream_rules(
         source, minconf, "implication", bitmap, spill_dir,
         checkpoint_dir, guard, stats, observer,
+        storage=storage, spill_degrade=spill_degrade, preflight=preflight,
     )
 
 
@@ -649,14 +907,19 @@ def stream_similarity_rules(
     guard=None,
     stats: Optional[PipelineStats] = None,
     observer=None,
+    storage=None,
+    spill_degrade: bool = True,
+    preflight: bool = False,
 ) -> RuleSet:
     """Two-pass DMC-sim over a streaming source.
 
     Equivalent to :func:`repro.core.dmc_sim.find_similarity_rules`.
-    Checkpointing, validation, guarding, stats and observer behave
-    exactly as in :func:`stream_implication_rules`.
+    Checkpointing, validation, guarding, stats, observer, storage and
+    the degradation ladder behave exactly as in
+    :func:`stream_implication_rules`.
     """
     return _stream_rules(
         source, minsim, "similarity", bitmap, spill_dir,
         checkpoint_dir, guard, stats, observer,
+        storage=storage, spill_degrade=spill_degrade, preflight=preflight,
     )

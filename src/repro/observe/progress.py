@@ -95,6 +95,15 @@ class ProgressObserver:
     def on_retry(self, site: str) -> None:
         """A transient I/O error at ``site`` is being retried."""
 
+    def on_io_error(self, kind: str) -> None:
+        """A storage I/O error occurred (``kind`` is the errno name,
+        e.g. ``"ENOSPC"``, or the exception class name)."""
+
+    def on_degradation(self, path: str) -> None:
+        """A storage fault forced a degradation: ``path`` names the
+        ladder step taken (``"spill-to-memory"``, ``"checkpoint-off"``,
+        ``"ledger-off"``, ...).  Rules stay exact on every step."""
+
     def on_task_done(
         self,
         task_id: str,
@@ -183,6 +192,15 @@ class ConsoleProgress(ProgressObserver):
 
     def on_retry(self, site: str) -> None:
         self._emit(f"[repro] retrying transient I/O failure at {site}")
+
+    def on_io_error(self, kind: str) -> None:
+        self._emit(f"[repro] storage I/O error ({kind})")
+
+    def on_degradation(self, path: str) -> None:
+        self._emit(
+            f"[repro] storage fault: degrading via {path} "
+            "(rules stay exact)"
+        )
 
     def on_task_done(
         self,

@@ -168,6 +168,22 @@ class RunObserver(ProgressObserver):
         if self.progress.enabled:
             self.progress.on_retry(site)
 
+    def on_io_error(self, kind: str) -> None:
+        self.metrics.counter(
+            f"{self.metrics.prefix}_io_errors_total",
+            "Storage I/O errors observed, by errno name.", kind=kind,
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_io_error(kind)
+
+    def on_degradation(self, path: str) -> None:
+        self.metrics.counter(
+            f"{self.metrics.prefix}_degradations_total",
+            "Storage-fault degradations taken, by ladder step.", path=path,
+        ).inc()
+        if self.progress.enabled:
+            self.progress.on_degradation(path)
+
     # ------------------------------------------------------------------
     # Supervised-runtime hooks (repro.runtime.supervisor)
     # ------------------------------------------------------------------

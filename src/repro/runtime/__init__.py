@@ -21,11 +21,27 @@ The paper proves the mining *algorithms* exact; this package keeps the
   quarantine with serial re-run (exactness preserved), and a shard
   ledger so a killed supervisor resumes with only unfinished
   partitions.
+- :mod:`repro.runtime.storage` — the injectable durable-I/O layer
+  every checkpoint, spill bucket and ledger write goes through:
+  fsync-then-rename-then-fsync-dir discipline, errno classification
+  (``ENOSPC``-class faults surface as :class:`StorageFull` and trigger
+  degradation instead of retries), and the :class:`FaultyStorage` test
+  double that counts, crashes and injects errno failures.
+- :mod:`repro.runtime.crashpoints` — ALICE-style crash-point
+  enumeration built on that op counting: crash a workload at every
+  storage operation, recover, and demand the exact rule set each time.
 
 See :mod:`repro.matrix.stream` for the pipelines these wrap, and the
-"Fault tolerance & recovery" section of USAGE.md for the operator view.
+"Fault tolerance & recovery" / "Durability & degraded modes" sections
+of USAGE.md for the operator view.
 """
 
+from repro.runtime.crashpoints import (
+    CrashPointReport,
+    CrashPointResult,
+    count_storage_ops,
+    enumerate_crash_points,
+)
 from repro.runtime.checkpoint import (
     CheckpointCorrupted,
     CheckpointError,
@@ -45,8 +61,21 @@ from repro.runtime.faults import (
 from repro.runtime.guards import (
     MemoryBudgetExceeded,
     MemoryGuard,
+    ensure_disk_space,
+    estimate_spill_bytes,
     mine_with_memory_budget,
     retry_io,
+)
+from repro.runtime.storage import (
+    LOCAL_STORAGE,
+    TERMINAL_ERRNOS,
+    FaultyStorage,
+    LocalStorage,
+    Storage,
+    StorageFault,
+    StorageFull,
+    io_error_kind,
+    terminal_io_error,
 )
 from repro.runtime.supervisor import (
     ShardLedger,
@@ -68,8 +97,13 @@ __all__ = [
     "CheckpointError",
     "CheckpointStale",
     "CheckpointStore",
+    "CrashPointReport",
+    "CrashPointResult",
     "Fault",
     "FaultPlan",
+    "FaultyStorage",
+    "LOCAL_STORAGE",
+    "LocalStorage",
     "MemoryBudgetExceeded",
     "MemoryGuard",
     "Pass1Checkpoint",
@@ -77,17 +111,27 @@ __all__ = [
     "RowValidator",
     "ShardLedger",
     "SimulatedCrash",
+    "Storage",
+    "StorageFault",
+    "StorageFull",
     "Supervisor",
     "SupervisorError",
     "SupervisorReport",
+    "TERMINAL_ERRNOS",
     "Task",
     "TaskOutcome",
     "TransientIOError",
     "VALIDATION_MODES",
     "WorkerFault",
     "WorkerFaultPlan",
+    "count_storage_ops",
+    "ensure_disk_space",
+    "enumerate_crash_points",
+    "estimate_spill_bytes",
     "graceful_interrupts",
+    "io_error_kind",
     "mine_with_memory_budget",
     "retry_io",
     "source_fingerprint",
+    "terminal_io_error",
 ]

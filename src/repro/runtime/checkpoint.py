@@ -25,8 +25,18 @@ The checkpoint directory layout::
     <dir>/manifest.json      # atomic, written after pass 1 completes
     <dir>/buckets/bucket-NN.txt
 
+- **Durability** — every file operation goes through the injectable
+  :class:`repro.runtime.storage.Storage` layer: bucket files are
+  fsynced *before* their checksums enter the manifest (see
+  :meth:`repro.matrix.stream.BucketSpill.finish`), the manifest is
+  fsynced before the rename, and the parent directory is fsynced after
+  it — the rename itself survives power loss.
+
 Writes run through :func:`repro.runtime.guards.retry_io` and the
-``"checkpoint.save"`` fault-injection site.
+``"checkpoint.save"`` fault-injection site; a terminal storage fault
+(disk full/read-only) surfaces as :class:`repro.runtime.storage.
+StorageFull` so the pipeline can degrade to checkpoint-off instead of
+aborting.
 """
 
 from __future__ import annotations
@@ -34,12 +44,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import shutil
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime import faults
 from repro.runtime.guards import retry_io
+from repro.runtime.storage import LOCAL_STORAGE, io_error_kind
 
 #: Bump when the manifest schema changes; older manifests become stale.
 CHECKPOINT_VERSION = 1
@@ -113,14 +123,17 @@ def _sha256_file(path: str) -> str:
 class CheckpointStore:
     """Owns one checkpoint directory (manifest + durable spill buckets)."""
 
-    def __init__(self, directory: str, observer=None) -> None:
+    def __init__(self, directory: str, observer=None, storage=None) -> None:
         self.directory = directory
         #: Transient manifest-write failures that were retried.
         self.io_retries = 0
         #: Observer notified of manifest-write retries (any
         #: :class:`repro.observe.ProgressObserver`); None disables.
         self.observer = observer
-        os.makedirs(directory, exist_ok=True)
+        #: All durable I/O goes through this (:class:`repro.runtime.
+        #: storage.Storage`); None means the local filesystem.
+        self.storage = storage if storage is not None else LOCAL_STORAGE
+        self.storage.makedirs(directory)
 
     @property
     def manifest_path(self) -> str:
@@ -145,22 +158,19 @@ class CheckpointStore:
         pass 1 can never pair an old manifest with new bucket files.
         """
         self._remove_manifest()
-        shutil.rmtree(self.buckets_directory, ignore_errors=True)
-        os.makedirs(self.buckets_directory, exist_ok=True)
+        self.storage.rmtree(self.buckets_directory)
+        self.storage.makedirs(self.buckets_directory)
         return self.buckets_directory
 
     def clear(self) -> None:
         """Delete the checkpoint (manifest and buckets), keeping the
         directory itself."""
         self._remove_manifest()
-        shutil.rmtree(self.buckets_directory, ignore_errors=True)
+        self.storage.rmtree(self.buckets_directory)
 
     def _remove_manifest(self) -> None:
         for path in (self.manifest_path, self.manifest_path + ".tmp"):
-            try:
-                os.remove(path)
-            except FileNotFoundError:
-                pass
+            self.storage.remove(path, missing_ok=True)
 
     # ------------------------------------------------------------------
     # Save / load
@@ -178,17 +188,25 @@ class CheckpointStore:
 
         ``bucket_files`` is a sequence of ``(name, path, rows)`` as
         returned by :meth:`repro.matrix.stream.BucketSpill.bucket_files`;
-        the files must be fully flushed (checksums are computed here).
+        the files must already be flushed *and fsynced* (see
+        :meth:`~repro.matrix.stream.BucketSpill.finish`) — the manifest
+        must never reference bytes that could still evaporate with the
+        page cache.  Checksums are computed here, after the fsync, so
+        they describe what is actually on the platter.
         """
-        buckets = [
-            {
-                "name": name,
-                "rows": rows,
-                "size_bytes": os.path.getsize(path),
-                "sha256": _sha256_file(path),
-            }
-            for name, path, rows in bucket_files
-        ]
+        buckets = retry_io(
+            lambda: [
+                {
+                    "name": name,
+                    "rows": rows,
+                    "size_bytes": self.storage.getsize(path),
+                    "sha256": self.storage.sha256_file(path),
+                }
+                for name, path, rows in bucket_files
+            ],
+            on_retry=self._note_retry,
+            on_giveup=self._note_giveup,
+        )
         payload = {
             "version": CHECKPOINT_VERSION,
             "fingerprint": fingerprint,
@@ -200,21 +218,22 @@ class CheckpointStore:
         retry_io(
             lambda: self._write_manifest(payload),
             on_retry=self._note_retry,
+            on_giveup=self._note_giveup,
         )
 
     def _note_retry(self, error: BaseException) -> None:
         self.io_retries += 1
         if self.observer is not None and self.observer.enabled:
             self.observer.on_retry("checkpoint.save")
+            self.observer.on_io_error(io_error_kind(error))
+
+    def _note_giveup(self, error: BaseException) -> None:
+        if self.observer is not None and self.observer.enabled:
+            self.observer.on_io_error(io_error_kind(error))
 
     def _write_manifest(self, payload: Dict[str, object]) -> None:
         faults.trip("checkpoint.save")
-        tmp_path = self.manifest_path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.manifest_path)
+        self.storage.atomic_write_text(self.manifest_path, json.dumps(payload))
 
     def load_pass1(
         self,
@@ -231,7 +250,9 @@ class CheckpointStore:
         if not self.has_checkpoint():
             return None
         try:
-            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            with self.storage.open(
+                self.manifest_path, "r", encoding="utf-8"
+            ) as handle:
                 payload = json.load(handle)
         except (OSError, ValueError) as error:
             raise CheckpointCorrupted(
@@ -266,20 +287,25 @@ class CheckpointStore:
             ) from error
         for bucket in buckets:
             path = os.path.join(self.buckets_directory, bucket.name)
-            if not os.path.exists(path):
+            if not self.storage.exists(path):
                 raise CheckpointCorrupted(
                     f"spill bucket {bucket.name} is missing"
                 )
-            if os.path.getsize(path) != bucket.size_bytes:
+            try:
+                size = self.storage.getsize(path)
+                if size != bucket.size_bytes:
+                    raise CheckpointCorrupted(
+                        f"spill bucket {bucket.name} is truncated or grew "
+                        f"({size} bytes, expected {bucket.size_bytes})"
+                    )
+                if self.storage.sha256_file(path) != bucket.sha256:
+                    raise CheckpointCorrupted(
+                        f"spill bucket {bucket.name} fails its checksum"
+                    )
+            except OSError as error:
                 raise CheckpointCorrupted(
-                    f"spill bucket {bucket.name} is truncated or grew "
-                    f"({os.path.getsize(path)} bytes, expected "
-                    f"{bucket.size_bytes})"
-                )
-            if _sha256_file(path) != bucket.sha256:
-                raise CheckpointCorrupted(
-                    f"spill bucket {bucket.name} fails its checksum"
-                )
+                    f"spill bucket {bucket.name} is unreadable: {error}"
+                ) from error
         return Pass1Checkpoint(
             ones=ones, rows_spilled=rows_spilled, buckets=buckets
         )

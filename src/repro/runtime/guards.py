@@ -1,12 +1,14 @@
-"""Resource guards: memory-budget watchdog and I/O retry-with-backoff.
+"""Resource guards: memory watchdog, disk preflight, I/O retry policy.
 
-Two failure modes threaten a long scan in production:
+Three failure modes threaten a long scan in production:
 
 - the counter array outgrowing memory — the paper's own DMC-bitmap
   switch (Section 4.4) only fires near the *end* of a scan, so an
-  adversarial row order can still OOM mid-scan; and
+  adversarial row order can still OOM mid-scan;
 - transient I/O errors on the spill-bucket files (network filesystems,
-  overloaded disks) aborting pass 2 outright.
+  overloaded disks) aborting pass 2 outright; and
+- the disk filling up mid-pass — which is *not* transient: retrying an
+  ``ENOSPC`` just burns the backoff budget before dying anyway.
 
 :class:`MemoryGuard` watches the candidate array's modelled bytes on
 every row of a scan and reacts when a hard budget is exceeded: either
@@ -17,17 +19,36 @@ independent) or raise :class:`MemoryBudgetExceeded`
 algorithm.  :func:`mine_with_memory_budget` packages the fallback.
 
 :func:`retry_io` retries a transient-failure-prone operation with
-exponential backoff; the spill reader and the checkpoint writer run
-their opens/writes through it.
+exponential backoff — but classifies errnos first: ``ENOSPC`` /
+``EDQUOT`` / ``EROFS`` are terminal for the storage path and surface
+immediately as a typed :class:`~repro.runtime.storage.StorageFull`,
+while ``EIO`` / ``EAGAIN`` / other ``OSError``\\ s stay retryable.
+
+:func:`ensure_disk_space` is the preflight half of the same idea: check
+``disk_usage`` against the estimated spill footprint *before* pass 1,
+so a run that cannot fit degrades early instead of dying mid-pass.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional, Tuple
 
+from repro.runtime.storage import (
+    LOCAL_STORAGE,
+    StorageFull,
+    terminal_io_error,
+)
+
 #: Exception types retried by :func:`retry_io` by default.
 TRANSIENT_ERRORS = (OSError,)
+
+#: Safety factor applied to spill-footprint estimates by
+#: :func:`ensure_disk_space` — bucket files carry the same tokens as
+#: the input but the estimate is approximate, and filling a disk to the
+#: last byte hurts every other tenant of the filesystem.
+DISK_HEADROOM = 1.25
 
 
 class MemoryBudgetExceeded(MemoryError):
@@ -104,15 +125,24 @@ def retry_io(
     base_delay: float = 0.01,
     retry_on: Tuple[type, ...] = TRANSIENT_ERRORS,
     on_retry: Optional[Callable[[BaseException], None]] = None,
+    on_giveup: Optional[Callable[[BaseException], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
 ):
-    """Run ``operation`` with exponential backoff on transient errors.
+    """Run ``operation`` with exponential backoff on *transient* errors.
 
     Retries only exceptions matching ``retry_on`` (``OSError`` by
     default — a :class:`repro.runtime.faults.SimulatedCrash` is *not*
-    an ``OSError`` and always propagates immediately).  ``on_retry`` is
-    invoked with the error before each backoff sleep, letting callers
-    count retries into their stats.
+    an ``OSError`` and always propagates immediately), and only when
+    the errno is curable: a terminal errno (``ENOSPC`` / ``EDQUOT`` /
+    ``EROFS``, see :func:`repro.runtime.storage.terminal_io_error`) is
+    re-raised immediately as :class:`~repro.runtime.storage.
+    StorageFull` so the caller degrades instead of backing off against
+    a disk that will still be full afterwards.
+
+    ``on_retry`` is invoked with the error before each backoff sleep;
+    ``on_giveup`` with the error that is about to propagate (terminal
+    or retries exhausted) — both let callers count errors into their
+    stats and metrics.
     """
     if attempts < 1:
         raise ValueError("attempts must be at least 1")
@@ -120,11 +150,86 @@ def retry_io(
         try:
             return operation()
         except retry_on as error:
+            if terminal_io_error(error):
+                if on_giveup is not None:
+                    on_giveup(error)
+                if isinstance(error, StorageFull):
+                    raise
+                raise StorageFull(
+                    getattr(error, "errno", None),
+                    f"terminal storage fault (not retried): {error}",
+                ) from error
             if attempt == attempts - 1:
+                if on_giveup is not None:
+                    on_giveup(error)
                 raise
             if on_retry is not None:
                 on_retry(error)
             sleep(base_delay * (2 ** attempt))
+
+
+def estimate_spill_bytes(source=None, matrix=None) -> Optional[int]:
+    """Estimate the spill-bucket footprint of a pass-1 scan, in bytes.
+
+    - A file-backed source spills the same tokens its file carries, so
+      the file's size is the estimate.
+    - An in-memory matrix (or a :class:`~repro.matrix.stream.
+      MatrixSource`) spills one decimal token plus a separator per set
+      bit; eight bytes per ``nnz`` covers column ids into the tens of
+      millions.
+    - Anything else is unknowable without scanning: returns ``None``
+      (the preflight is skipped rather than guessed).
+    """
+    if matrix is None and source is not None:
+        matrix = getattr(source, "_matrix", None)
+    if matrix is not None:
+        nnz = getattr(matrix, "nnz", None)
+        if nnz is not None:
+            return int(nnz) * 8
+    path = getattr(source, "path", None)
+    if isinstance(path, str):
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return None
+    return None
+
+
+def ensure_disk_space(
+    directory: str,
+    required_bytes: Optional[int],
+    storage=None,
+    headroom: float = DISK_HEADROOM,
+) -> int:
+    """Preflight guard: fail *now* if ``directory`` cannot fit a spill.
+
+    Checks the filesystem's free bytes against ``required_bytes *
+    headroom`` and raises :class:`~repro.runtime.storage.StorageFull`
+    when they do not fit — the caller degrades to an in-memory or
+    partitioned engine before pass 1 writes a single bucket, instead of
+    dying (or degrading with work wasted) mid-pass.  ``required_bytes=
+    None`` (unknown footprint) passes trivially.  Returns the free
+    bytes observed.
+    """
+    storage = storage if storage is not None else LOCAL_STORAGE
+    probe = directory
+    while probe and not os.path.isdir(probe):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    try:
+        free = storage.disk_usage(probe or os.curdir).free
+    except OSError:
+        return -1  # unknowable filesystem: do not block the run
+    if required_bytes is not None and free < required_bytes * headroom:
+        raise StorageFull(
+            None,
+            f"preflight: {directory} has {free} bytes free but the "
+            f"spill needs ~{int(required_bytes * headroom)} "
+            f"(estimate {required_bytes} x {headroom:.2f} headroom)",
+        )
+    return free
 
 
 def mine_with_memory_budget(
@@ -137,6 +242,7 @@ def mine_with_memory_budget(
     task_timeout: Optional[float] = None,
     task_retries: int = 2,
     ledger_dir: Optional[str] = None,
+    storage=None,
     stats=None,
     observer=None,
 ):
@@ -207,13 +313,13 @@ def mine_with_memory_budget(
                 matrix, threshold, n_partitions=n_partitions,
                 n_workers=n_workers, task_timeout=task_timeout,
                 task_retries=task_retries, ledger_dir=ledger_dir,
-                stats=stats, observer=observer,
+                storage=storage, stats=stats, observer=observer,
             )
         else:
             rules = find_similarity_rules_partitioned(
                 matrix, threshold, n_partitions=n_partitions,
                 n_workers=n_workers, task_timeout=task_timeout,
                 task_retries=task_retries, ledger_dir=ledger_dir,
-                stats=stats, observer=observer,
+                storage=storage, stats=stats, observer=observer,
             )
     return rules, "partitioned"

@@ -47,6 +47,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
@@ -54,6 +55,11 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 from repro.runtime import faults
 from repro.runtime.faults import WorkerFaultPlan
 from repro.runtime.guards import retry_io
+from repro.runtime.storage import (
+    LOCAL_STORAGE,
+    io_error_kind,
+    terminal_io_error,
+)
 
 #: Exit code a worker uses for an injected hard crash (never a real one).
 WORKER_CRASH_EXIT = 23
@@ -105,6 +111,10 @@ class SupervisorReport:
     #: True when the pool died faster than it completed work and the
     #: remaining tasks were finished in-process instead.
     pool_broken: bool = False
+    #: True when a terminal storage fault (disk full / read-only)
+    #: switched the shard ledger off mid-run; results stay exact but
+    #: partition-level resume is lost for this run.
+    ledger_disabled: bool = False
 
     def results(self, tasks: Sequence[Task]) -> List[Any]:
         """The task results in the order of ``tasks``."""
@@ -167,15 +177,22 @@ class ShardLedger:
     """
 
     def __init__(
-        self, directory: str, fingerprint: Dict[str, object], observer=None
+        self,
+        directory: str,
+        fingerprint: Dict[str, object],
+        observer=None,
+        storage=None,
     ) -> None:
         self.directory = directory
         self.fingerprint = fingerprint
         self.observer = observer
+        #: All durable I/O goes through this (:class:`repro.runtime.
+        #: storage.Storage`); None means the local filesystem.
+        self.storage = storage if storage is not None else LOCAL_STORAGE
         #: Transient manifest-write failures that were retried.
         self.io_retries = 0
         self._results: Dict[str, Any] = {}
-        os.makedirs(directory, exist_ok=True)
+        self.storage.makedirs(directory)
 
     @property
     def path(self) -> str:
@@ -186,7 +203,7 @@ class ShardLedger:
         import json
 
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
+            with self.storage.open(self.path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return {}
@@ -203,21 +220,27 @@ class ShardLedger:
     def record(self, task_id: str, result: Any) -> None:
         """Persist one completed task (atomic rewrite of the manifest)."""
         self._results[task_id] = result
-        retry_io(self._write, on_retry=self._note_retry)
+        retry_io(
+            self._write,
+            on_retry=self._note_retry,
+            on_giveup=self._note_giveup,
+        )
 
     def clear(self) -> None:
         """Delete the ledger file (the run completed or went stale)."""
         self._results = {}
         for path in (self.path, self.path + ".tmp"):
-            try:
-                os.remove(path)
-            except FileNotFoundError:
-                pass
+            self.storage.remove(path, missing_ok=True)
 
     def _note_retry(self, error: BaseException) -> None:
         self.io_retries += 1
         if self.observer is not None and self.observer.enabled:
             self.observer.on_retry("ledger.save")
+            self.observer.on_io_error(io_error_kind(error))
+
+    def _note_giveup(self, error: BaseException) -> None:
+        if self.observer is not None and self.observer.enabled:
+            self.observer.on_io_error(io_error_kind(error))
 
     def _write(self) -> None:
         import json
@@ -228,12 +251,7 @@ class ShardLedger:
             "fingerprint": self.fingerprint,
             "tasks": self._results,
         }
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
+        self.storage.atomic_write_text(self.path, json.dumps(payload))
 
 
 # ----------------------------------------------------------------------
@@ -485,7 +503,16 @@ class Supervisor:
 
         if self.ledger is not None:
             # Every task accounted for: the ledger has served its purpose.
-            self.ledger.clear()
+            try:
+                self.ledger.clear()
+            except OSError as error:
+                if not terminal_io_error(error):
+                    raise
+                warnings.warn(
+                    f"could not remove the finished shard ledger: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return report
 
     # ------------------------------------------------------------------
@@ -752,7 +779,23 @@ class Supervisor:
             quarantined=quarantined,
         )
         if self.ledger is not None:
-            self.ledger.record(task.task_id, result)
+            try:
+                self.ledger.record(task.task_id, result)
+            except OSError as error:
+                if not terminal_io_error(error):
+                    raise
+                # The disk is full or read-only; the results themselves
+                # live in memory, so finish the run without the ledger
+                # (losing only partition-level resume for this run).
+                self.ledger = None
+                report.ledger_disabled = True
+                warnings.warn(
+                    f"shard ledger disabled: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                # (retry_io's on_giveup already counted the I/O error.)
+                self._notify("on_degradation", "ledger-off")
         self._notify(
             "on_task_done", task.task_id, seconds, attempt, quarantined
         )

@@ -39,6 +39,17 @@ class TestParser:
         assert args.task_retries == 1
         assert args.ledger == "/tmp/ledger"
 
+    def test_storage_options(self):
+        args = build_parser().parse_args(
+            ["mine-imp", "data.txt", "--no-spill-degrade",
+             "--preflight-disk"]
+        )
+        assert args.no_spill_degrade is True
+        assert args.preflight_disk is True
+        defaults = build_parser().parse_args(["mine-imp", "data.txt"])
+        assert defaults.no_spill_degrade is False
+        assert defaults.preflight_disk is False
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
@@ -95,6 +106,19 @@ class TestMiningCommands:
     def test_missing_file(self, capsys, tmp_path):
         assert main(["mine-imp", str(tmp_path / "nope.txt")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+    def test_preflight_disk_on_healthy_disk_mines_normally(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "numeric.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("0 1\n0 1\n0 1 2\n2\n")
+        code = main(
+            ["mine-imp", path, "--minconf", "0.9",
+             "--stream", "--preflight-disk"]
+        )
+        assert code == 0
+        assert "->" in capsys.readouterr().out
 
     def test_workers_conflicts_with_stream(self, capsys, transactions_file):
         code = main(

@@ -320,6 +320,65 @@ def test_pipeline_discards_bad_checkpoint_and_rescans(tmp_path, demo_path):
     assert source.iterations == 1  # full rescan, not resume
 
 
+def test_torn_manifest_at_every_byte_boundary(tmp_path, demo_path):
+    """A manifest cut at *any* byte boundary is never trusted.
+
+    A crash mid-write (on a filesystem without atomic rename, or a
+    partial page flush) can leave any prefix of the manifest on disk.
+    Every prefix must read back as "no checkpoint" or a typed
+    :class:`CheckpointError` — never a parse crash, and never a bogus
+    resume.
+    """
+    checkpoint_dir = str(tmp_path / "ckpt")
+    _checkpointed_run(demo_path, checkpoint_dir)
+    store = CheckpointStore(checkpoint_dir)
+    with open(store.manifest_path, "rb") as handle:
+        manifest = handle.read()
+    assert len(manifest) > 2
+
+    source = FileSource(demo_path)
+    fingerprint = source_fingerprint(source)
+    params = {"kind": "implication", "threshold": "4/5"}
+
+    for cut in range(len(manifest)):
+        with open(store.manifest_path, "wb") as handle:
+            handle.write(manifest[:cut])
+        try:
+            checkpoint = store.load_pass1(fingerprint, params)
+        except (CheckpointCorrupted, CheckpointStale):
+            continue
+        assert checkpoint is None, (
+            f"a manifest torn at byte {cut} was accepted as a checkpoint"
+        )
+
+    # The intact manifest still loads — the sweep did not wreck the store.
+    with open(store.manifest_path, "wb") as handle:
+        handle.write(manifest)
+    assert store.load_pass1(fingerprint, params) is not None
+
+
+def test_pipeline_recovers_from_torn_manifest(tmp_path, demo_path):
+    """End-to-end on a strided subset of tear points: the pipeline
+    silently rescans from scratch and mines the exact baseline."""
+    baseline = stream_implication_rules(FileSource(demo_path), 0.8)
+    checkpoint_dir = str(tmp_path / "ckpt")
+    _checkpointed_run(demo_path, checkpoint_dir)
+    store = CheckpointStore(checkpoint_dir)
+    with open(store.manifest_path, "rb") as handle:
+        manifest = handle.read()
+
+    for cut in range(0, len(manifest), max(1, len(manifest) // 6)):
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        with open(store.manifest_path, "wb") as handle:
+            handle.write(manifest[:cut])
+        source = CountingFileSource(demo_path)
+        rules = stream_implication_rules(
+            source, 0.8, checkpoint_dir=checkpoint_dir
+        )
+        assert rules == baseline
+        assert source.iterations == 1  # full rescan, never a fake resume
+
+
 def test_checkpoint_for_other_threshold_is_not_reused(tmp_path, demo_path):
     baseline = stream_implication_rules(FileSource(demo_path), 0.7)
     checkpoint_dir = str(tmp_path / "ckpt")
