@@ -108,6 +108,40 @@ def test_micro_overhead_null_observer(benchmark, overhead_workload):
     benchmark.extra_info["rules"] = len(rules)
 
 
+def test_micro_overhead_full_telemetry(
+    benchmark, overhead_workload, tmp_path_factory
+):
+    """Full telemetry on: journal + live server + curve sampling (<5%)."""
+    from repro.observe import (
+        LiveRunStatus,
+        MetricsServer,
+        RunJournal,
+        RunObserver,
+    )
+
+    policy = ImplicationPolicy(overhead_workload.column_ones(), 0.8)
+    scratch = tmp_path_factory.mktemp("telemetry")
+    journal = RunJournal(str(scratch / "run.jsonl"), "bench-run")
+    status = LiveRunStatus("bench-run")
+    observer = RunObserver(
+        journal=journal, status=status, run_id="bench-run",
+    )
+    server = MetricsServer(observer.metrics, status=status)
+    try:
+        rules = benchmark.pedantic(
+            miss_counting_scan,
+            args=(overhead_workload, policy),
+            kwargs={"observer": observer},
+            rounds=15,
+            iterations=1,
+            warmup_rounds=2,
+        )
+    finally:
+        server.close()
+        journal.close()
+    benchmark.extra_info["rules"] = len(rules)
+
+
 def test_micro_bitmap_miss_counting(benchmark):
     """popcount(a & ~b) on packed bitmaps, the Phase-1 primitive."""
     rng = np.random.default_rng(0)

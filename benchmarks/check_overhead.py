@@ -1,11 +1,17 @@
-"""Gate on the disabled-observer overhead measured by bench_engine_micro.
+"""Gate on the observer overhead measured by bench_engine_micro.
 
 Reads a ``BENCH_engine_micro.json`` document (written by
-``python -m benchmarks.bench_engine_micro --json``) and compares the
-``test_micro_overhead_null_observer`` scan against the
-``test_micro_overhead_no_hooks`` baseline.  Exits non-zero when the
-disabled observer costs more than the threshold (default 5%), which is
-the CI benchmark-smoke contract: observability must be free when off.
+``python -m benchmarks.bench_engine_micro --json``) and compares two
+scans against the ``test_micro_overhead_no_hooks`` baseline:
+
+- ``test_micro_overhead_null_observer`` — the *disabled* observer,
+  which must cost one attribute check per row;
+- ``test_micro_overhead_full_telemetry`` — journal + live ``/metrics``
+  server + pruning-curve sampling all on.
+
+Both must stay within the threshold (default 5%), which is the CI
+benchmark-smoke contract: observability must be free when off and
+near-free when on.
 
 The comparison uses each benchmark's *minimum* round — the statistic
 least disturbed by scheduler noise — plus a small absolute floor so
@@ -24,7 +30,12 @@ import sys
 from typing import Dict, List, Optional
 
 BASELINE = "test_micro_overhead_no_hooks"
-CANDIDATE = "test_micro_overhead_null_observer"
+
+#: (benchmark name, human label) pairs gated against the baseline.
+CANDIDATES = (
+    ("test_micro_overhead_null_observer", "disabled-observer"),
+    ("test_micro_overhead_full_telemetry", "full-telemetry"),
+)
 
 #: Ignore differences below this many seconds regardless of ratio.
 ABSOLUTE_FLOOR_SECONDS = 0.002
@@ -40,24 +51,27 @@ def _lookup(document: Dict, name: str) -> Dict:
     )
 
 
-def check(document: Dict, threshold: float) -> str:
-    """Return a verdict line; raise SystemExit(1) via caller on failure."""
+def check(document: Dict, threshold: float) -> List[str]:
+    """Return one verdict line per gated pair; raise on the first breach."""
     baseline = _lookup(document, BASELINE)["min_seconds"]
-    candidate = _lookup(document, CANDIDATE)["min_seconds"]
-    overhead = candidate - baseline
-    ratio = overhead / baseline if baseline > 0 else 0.0
-    verdict = (
-        f"disabled-observer overhead: {overhead * 1000:+.3f}ms "
-        f"({ratio * 100:+.2f}%) on a {baseline * 1000:.3f}ms baseline "
-        f"(threshold {threshold * 100:.0f}%)"
-    )
-    if overhead > ABSOLUTE_FLOOR_SECONDS and ratio > threshold:
-        raise OverheadExceeded(verdict)
-    return verdict
+    verdicts = []
+    for name, label in CANDIDATES:
+        candidate = _lookup(document, name)["min_seconds"]
+        overhead = candidate - baseline
+        ratio = overhead / baseline if baseline > 0 else 0.0
+        verdict = (
+            f"{label} overhead: {overhead * 1000:+.3f}ms "
+            f"({ratio * 100:+.2f}%) on a {baseline * 1000:.3f}ms baseline "
+            f"(threshold {threshold * 100:.0f}%)"
+        )
+        if overhead > ABSOLUTE_FLOOR_SECONDS and ratio > threshold:
+            raise OverheadExceeded(verdict)
+        verdicts.append(verdict)
+    return verdicts
 
 
 class OverheadExceeded(RuntimeError):
-    """The disabled observer slowed the scan past the threshold."""
+    """An observer configuration slowed the scan past the threshold."""
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,11 +90,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(args.document, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     try:
-        verdict = check(document, args.threshold)
+        verdicts = check(document, args.threshold)
     except OverheadExceeded as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
-    print(f"OK: {verdict}")
+    for verdict in verdicts:
+        print(f"OK: {verdict}")
     return 0
 
 

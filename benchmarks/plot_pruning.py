@@ -1,0 +1,117 @@
+"""Emit the pruning curve as CSV from a run journal.
+
+The paper's §6 figures plot candidate-set decay against rows scanned.
+This tool reproduces that data *from telemetry alone*: it reads the
+``curve-sample`` events of a run journal (see
+:mod:`repro.observe.journal`) and writes one CSV row per sample::
+
+    scan,rows_scanned,live_candidates,cumulative_misses,rules_emitted
+
+Point gnuplot / matplotlib / a spreadsheet at the CSV to render the
+decay figure.  ``--demo`` mines a synthetic workload first so the tool
+is runnable without an existing journal::
+
+    python -m benchmarks.plot_pruning run.jsonl --out curve.csv
+    python -m benchmarks.plot_pruning --demo --out curve.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import tempfile
+from typing import List, Optional
+
+CSV_HEADER = (
+    "scan", "rows_scanned", "live_candidates",
+    "cumulative_misses", "rules_emitted",
+)
+
+
+def curve_rows(journal_path: str, scan: Optional[str] = None) -> List[tuple]:
+    """The journal's pruning curves as CSV-ready tuples."""
+    from repro.observe import summarize_journal
+
+    summary = summarize_journal(journal_path)
+    rows: List[tuple] = []
+    for scan_name, curve in summary["pruning_curves"].items():
+        if scan is not None and scan_name != scan:
+            continue
+        for point in curve:
+            rows.append((scan_name, *point))
+    return rows
+
+
+def _demo_journal(path: str) -> None:
+    """Mine a synthetic workload with the journal on, writing ``path``."""
+    from repro.api import mine
+    from repro.datasets.synthetic import random_matrix
+
+    matrix = random_matrix(2000, 150, density=0.05, seed=7)
+    result = mine(matrix, minconf=0.6, journal_path=path)
+    print(
+        f"demo run: {len(result.rules)} rules from "
+        f"{matrix.n_rows}x{matrix.n_columns}, journal at {path}",
+        file=sys.stderr,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.plot_pruning",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "journal", nargs="?",
+        help="path to a run journal (JSONL); omit with --demo",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="mine a synthetic workload first and plot its journal",
+    )
+    parser.add_argument(
+        "--scan", default=None,
+        help="only emit this scan's curve (e.g. '<100%%-rules')",
+    )
+    parser.add_argument(
+        "--out", default="-", metavar="CSV",
+        help="output CSV path (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+    if args.demo == (args.journal is not None):
+        parser.error("pass exactly one of: a journal path, or --demo")
+
+    if args.demo:
+        scratch = tempfile.mkdtemp(prefix="plot-pruning-")
+        journal_path = f"{scratch}/run.jsonl"
+        _demo_journal(journal_path)
+    else:
+        journal_path = args.journal
+
+    try:
+        rows = curve_rows(journal_path, scan=args.scan)
+    except (OSError, ValueError) as error:
+        print(f"cannot read journal: {error}", file=sys.stderr)
+        return 1
+    if not rows:
+        print("no curve-sample events in the journal", file=sys.stderr)
+        return 1
+
+    handle = (
+        sys.stdout if args.out == "-"
+        else open(args.out, "w", encoding="utf-8", newline="")
+    )
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_HEADER)
+        writer.writerows(rows)
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+            print(f"wrote {len(rows)} samples to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,8 @@ supported — the facade calls them, so both mine identical rule sets.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, Optional
 
@@ -47,6 +49,7 @@ from repro.matrix.stream import (
 )
 from repro.observe.progress import NULL_OBSERVER
 from repro.runtime.guards import mine_with_memory_budget
+from repro.runtime.storage import io_error_kind, terminal_io_error
 
 #: The two rule kinds of the paper (Sections 4 and 5).
 TASKS = ("implication", "similarity")
@@ -112,6 +115,27 @@ class MiningConfig:
         :class:`~repro.observe.RunObserver` to collect a trace and
         metrics.  :func:`mine` calls ``observer.finish(stats)`` for
         you.
+    run_id:
+        Identifier stamped on the journal, the live-status routes and
+        the :class:`MiningResult` (default: a fresh
+        :func:`repro.observe.new_run_id`).
+    journal_path:
+        Append one JSONL event per notable state change (phase
+        transitions, bitmap switch, guard trips, degradations, task
+        retries, checkpoints, pruning-curve samples, ...) to this file
+        through the durable ``storage`` backend.  Inspect with
+        ``python -m repro journal tail|summarize``.
+    serve_metrics_port:
+        Serve ``/metrics`` (Prometheus text), ``/healthz`` and
+        ``/runs/<run_id>`` on ``127.0.0.1:PORT`` for the duration of
+        the run (``0`` picks an ephemeral port).  The server is
+        reachable as ``observer.server`` while mining and is closed on
+        completion — including a SIGTERM unwinding through
+        :func:`repro.runtime.supervisor.graceful_interrupts`.
+
+    ``journal_path`` / ``serve_metrics_port`` need a
+    :class:`~repro.observe.RunObserver`; one is created automatically
+    when ``observer`` is absent or is a plain progress sink.
     """
 
     task: str = "implication"
@@ -131,6 +155,9 @@ class MiningConfig:
     spill_degrade: bool = True
     preflight_disk: bool = False
     observer: Optional[object] = None
+    run_id: Optional[str] = None
+    journal_path: Optional[str] = None
+    serve_metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -150,6 +177,12 @@ class MiningConfig:
             raise ValueError("task_retries must be non-negative")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if self.serve_metrics_port is not None and not (
+            0 <= self.serve_metrics_port <= 65535
+        ):
+            raise ValueError(
+                "serve_metrics_port must be a TCP port (0 for ephemeral)"
+            )
 
 
 @dataclass
@@ -168,6 +201,7 @@ class MiningResult:
     engine: str
     trace: Optional[Dict[str, Any]] = None
     vocabulary: Optional[Vocabulary] = None
+    run_id: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -204,6 +238,79 @@ def _resolve_config(
     return config
 
 
+def _resolve_telemetry(config: MiningConfig, stats: PipelineStats):
+    """The effective observer, plus the journal/server owned by mine().
+
+    A journal or metrics server needs a :class:`RunObserver`; when the
+    configured observer is absent or a plain progress sink, one is
+    created around it.  Only objects created *here* are returned for
+    closing — a journal or status the caller attached to their own
+    observer stays theirs to manage.
+    """
+    observer = (
+        config.observer if config.observer is not None else NULL_OBSERVER
+    )
+    if config.journal_path is None and config.serve_metrics_port is None:
+        return observer, None, None
+    from repro.observe import (
+        LiveRunStatus,
+        MetricsServer,
+        RunJournal,
+        RunObserver,
+    )
+
+    if not isinstance(observer, RunObserver):
+        progress = (
+            observer if getattr(observer, "enabled", False) else None
+        )
+        observer = RunObserver(progress=progress, run_id=config.run_id)
+    elif config.run_id is not None:
+        observer.run_id = config.run_id
+
+    journal = None
+    if config.journal_path is not None and observer.journal is None:
+        try:
+            journal = RunJournal(
+                config.journal_path, observer.run_id,
+                storage=config.storage,
+            )
+        except OSError as error:
+            if not terminal_io_error(error):
+                raise
+            # Unwritable journal path: telemetry must never abort the
+            # mine, so run without the journal (same ladder step as a
+            # mid-run disk death).
+            stats.degradations.append("journal-off")
+            if observer.enabled:
+                observer.on_io_error(io_error_kind(error))
+                observer.on_degradation("journal-off")
+            warnings.warn(
+                f"run journal disabled: {error}", RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            observer.journal = journal
+            journal.emit(
+                "run-start",
+                task=config.task,
+                threshold=str(config.threshold),
+                partitioned=config.partitioned,
+                n_workers=config.n_workers,
+            )
+
+    server = None
+    if config.serve_metrics_port is not None:
+        if observer.status is None:
+            observer.status = LiveRunStatus(observer.run_id)
+        server = MetricsServer(
+            observer.metrics,
+            port=config.serve_metrics_port,
+            status=observer.status,
+        )
+        observer.server = server
+    return observer, journal, server
+
+
 def _as_input(data):
     """Normalize ``data`` to a matrix or a streaming source."""
     if isinstance(data, BinaryMatrix):
@@ -238,14 +345,56 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
     """
     config = _resolve_config(config, kwargs)
     matrix, source = _as_input(data)
-    observer = (
-        config.observer if config.observer is not None else NULL_OBSERVER
-    )
     stats = PipelineStats()
+    observer, journal, server = _resolve_telemetry(config, stats)
     options = config.options if config.options is not None else PruningOptions()
     if config.bitmap is not None:
         options = replace(options, bitmap=config.bitmap)
 
+    # A live server/journal should also see a SIGTERM'd run unwind
+    # cleanly (handler close, journal fsync) instead of dying torn.
+    if journal is not None or server is not None:
+        from repro.runtime.supervisor import graceful_interrupts
+
+        interruptible = graceful_interrupts()
+    else:
+        interruptible = nullcontext()
+    try:
+        with interruptible:
+            rules, engine = _dispatch_engines(
+                config, matrix, source, options, stats, observer
+            )
+        observer.finish(stats=stats, guard=options.memory_guard)
+    except BaseException as error:
+        status = getattr(observer, "status", None)
+        if status is not None and not status.finished:
+            status.finish(failed=f"{type(error).__name__}: {error}")
+        if journal is not None:
+            journal.emit(
+                "run-end",
+                failed=f"{type(error).__name__}: {error}",
+            )
+        raise
+    finally:
+        if server is not None:
+            server.close()
+        if journal is not None:
+            journal.close()
+    tracer = getattr(observer, "tracer", None)
+    trace = tracer.to_dict() if tracer is not None else None
+    vocabulary = matrix.vocabulary if matrix is not None else None
+    return MiningResult(
+        rules=rules,
+        stats=stats,
+        engine=engine,
+        trace=trace,
+        vocabulary=vocabulary,
+        run_id=getattr(observer, "run_id", config.run_id),
+    )
+
+
+def _dispatch_engines(config, matrix, source, options, stats, observer):
+    """Run the configured engine; returns ``(rules, engine_name)``."""
     if matrix is None:
         if config.partitioned or config.memory_budget is not None:
             raise ValueError(
@@ -320,14 +469,4 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
         )
         engine = "dmc"
 
-    observer.finish(stats=stats, guard=options.memory_guard)
-    tracer = getattr(observer, "tracer", None)
-    trace = tracer.to_dict() if tracer is not None else None
-    vocabulary = matrix.vocabulary if matrix is not None else None
-    return MiningResult(
-        rules=rules,
-        stats=stats,
-        engine=engine,
-        trace=trace,
-        vocabulary=vocabulary,
-    )
+    return rules, engine

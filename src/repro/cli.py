@@ -155,6 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="print live progress lines to stderr",
         )
+        sub.add_argument(
+            "--journal", metavar="PATH", default=None,
+            help="append one JSONL event per state change (phases, "
+                 "bitmap switch, retries, pruning-curve samples) to "
+                 "PATH; inspect with `repro journal tail|summarize`",
+        )
+        sub.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve /metrics (Prometheus text), /healthz and "
+                 "/runs/<run_id> on 127.0.0.1:PORT while mining "
+                 "(0 picks an ephemeral port)",
+        )
 
     mine_topk = subparsers.add_parser(
         "mine-topk",
@@ -163,6 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
     mine_topk.add_argument("path", help="transactions file")
     mine_topk.add_argument(
         "-k", type=int, default=20, help="rule count target (default 20)"
+    )
+
+    journal = subparsers.add_parser(
+        "journal", help="inspect a run journal written by --journal"
+    )
+    journal.add_argument(
+        "action", choices=("tail", "summarize"),
+        help="tail: print the last events; summarize: fold the "
+             "journal into a run summary",
+    )
+    journal.add_argument("path", help="journal file (JSONL)")
+    journal.add_argument(
+        "--count", type=int, default=20, metavar="N",
+        help="events to print with tail (default 20; 0 for all)",
     )
 
     generate = subparsers.add_parser(
@@ -298,12 +324,26 @@ def _mine(args: argparse.Namespace) -> int:
                     "task_retries": getattr(args, "task_retries", 2),
                     "ledger_dir": getattr(args, "ledger", None),
                 }
+            serve_port = getattr(args, "serve_metrics", None)
+            if serve_port is not None:
+                where = (
+                    f"http://127.0.0.1:{serve_port}"
+                    if serve_port
+                    else "an OS-assigned free port"
+                )
+                print(
+                    f"serving /metrics /healthz /runs/<run_id> on "
+                    f"{where} for the duration of the run",
+                    file=sys.stderr,
+                )
             result = mine(
                 data,
                 checkpoint_dir=getattr(args, "checkpoint", None),
                 spill_degrade=not getattr(args, "no_spill_degrade", False),
                 preflight_disk=getattr(args, "preflight_disk", False),
                 observer=observer,
+                journal_path=getattr(args, "journal", None),
+                serve_metrics_port=serve_port,
                 **supervised,
                 **threshold,
             )
@@ -360,6 +400,59 @@ def _mine(args: argparse.Namespace) -> int:
         print("  " + rule.format(vocabulary))
     if len(ordered) > limit:
         print(f"  ... and {len(ordered) - limit} more")
+    return 0
+
+
+def _journal(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observe import summarize_journal, tail_journal
+
+    try:
+        if args.action == "tail":
+            for record in tail_journal(args.path, count=args.count):
+                print(json.dumps(record, separators=(",", ":")))
+            return 0
+        summary = summarize_journal(args.path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read journal {args.path}: {error}", file=sys.stderr)
+        return 1
+
+    wall = summary["wall_seconds"]
+    header = f"run {summary['run_id']}"
+    if summary["rules"] is not None:
+        header += f": {summary['rules']} rules"
+    if wall is not None:
+        header += f" in {wall:.2f}s"
+    print(header)
+    if summary["phases"]:
+        print("phases:")
+        for phase in summary["phases"]:
+            seconds = phase["seconds"]
+            timing = "?" if seconds is None else f"{seconds:.3f}s"
+            print(f"  {phase['name']:24s} {timing}")
+    events = " ".join(
+        f"{name}={count}"
+        for name, count in sorted(summary["events"].items())
+    )
+    print(f"events: {events}")
+    incidents = summary["incidents"]
+    print(f"incidents: {len(incidents)}")
+    for record in incidents:
+        detail = {
+            key: value
+            for key, value in record.items()
+            if key not in ("run_id", "seq", "ts", "event")
+        }
+        print(f"  {record.get('event')}: {detail}")
+    for scan, points in summary["pruning_curves"].items():
+        if not points:
+            continue
+        rows, live, misses, rules = points[-1]
+        print(
+            f"pruning curve [{scan}]: {len(points)} points, final "
+            f"rows={rows} live={live} misses={misses} rules={rules}"
+        )
     return 0
 
 
@@ -424,6 +517,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _run_experiments(args)
     if args.command in ("mine-imp", "mine-sim", "mine-topk"):
         return _mine(args)
+    if args.command == "journal":
+        return _journal(args)
     if args.command == "generate":
         return _generate(args)
     if args.command == "report":

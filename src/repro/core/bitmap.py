@@ -73,9 +73,9 @@ def bitmap_tail(
                 continue
             stats.bitmap_phase1_columns += 1
             for candidate_k, misses in cand.items(column_j):
-                final_misses = misses + bitmaps.misses(
-                    column_j, candidate_k
-                )
+                tail_misses = bitmaps.misses(column_j, candidate_k)
+                stats.misses_recorded += tail_misses
+                final_misses = misses + tail_misses
                 rule = policy.make_rule(column_j, candidate_k, final_misses)
                 if rule is not None:
                     rules.add(rule)
@@ -126,4 +126,17 @@ def bitmap_tail(
                 else:
                     stats.candidates_rejected += 1
 
+    # The tail resolves every surviving candidate, so the curve closes
+    # at zero live candidates.  Rows consumed here never went through
+    # record_row, so the x coordinate stays at the switch point — the
+    # curve documents the DMC-base trajectory, with this one terminal
+    # point marking the bitmap hand-over.
+    stats.pruning_curve.sample_final(
+        stats.rows_scanned, 0, stats.misses_recorded, stats.rules_emitted
+    )
+    if observer.enabled:
+        observer.on_curve_sample(
+            stats.rows_scanned, 0, stats.misses_recorded,
+            stats.rules_emitted,
+        )
     stats.bitmap_seconds += time.perf_counter() - started

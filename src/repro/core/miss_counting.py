@@ -173,11 +173,15 @@ def miss_counting_scan_rows(
     count = [0] * len(ones)
     cand = CandidateArray(on_memory=_memory_listener(guard, observer))
     rows = iter(rows)
+    curve = stats.pruning_curve
+    misses_base = stats.misses_recorded
+    misses_seen = 0
 
     for position in range(n_rows):
         if bitmap is not None and n_rows - position <= bitmap.switch_rows:
             if cand.memory_bytes() > bitmap.memory_budget_bytes:
                 stats.bitmap_switch_at = position
+                stats.misses_recorded = misses_base + misses_seen
                 if observer.enabled:
                     observer.on_bitmap_switch(position)
                 remaining = list(rows)
@@ -195,6 +199,7 @@ def miss_counting_scan_rows(
         ):
             stats.guard_tripped_at = position
             stats.bitmap_switch_at = position
+            stats.misses_recorded = misses_base + misses_seen
             if observer.enabled:
                 observer.on_guard_trip(position)
                 observer.on_bitmap_switch(position)
@@ -241,6 +246,7 @@ def miss_counting_scan_rows(
                         to_delete.append(candidate_k)
                     continue
                 misses += 1
+                misses_seen += 1
                 if misses > policy.pair_budget(column_j, candidate_k):
                     to_delete.append(candidate_k)
                     deleted_budget += 1
@@ -290,9 +296,30 @@ def miss_counting_scan_rows(
         entries = cand.total_entries
         memory = cand.memory_bytes()
         stats.record_row(entries, memory)
+        if curve.due(stats.rows_scanned):
+            misses_now = misses_base + misses_seen
+            curve.sample(
+                stats.rows_scanned, entries, misses_now,
+                stats.rules_emitted,
+            )
+            if observer.enabled:
+                observer.on_curve_sample(
+                    stats.rows_scanned, entries, misses_now,
+                    stats.rules_emitted,
+                )
         if observer.enabled:
             observer.on_row(position, n_rows, entries, memory)
 
+    stats.misses_recorded = misses_base + misses_seen
+    curve.sample_final(
+        stats.rows_scanned, cand.total_entries, stats.misses_recorded,
+        stats.rules_emitted,
+    )
+    if observer.enabled:
+        observer.on_curve_sample(
+            stats.rows_scanned, cand.total_entries,
+            stats.misses_recorded, stats.rules_emitted,
+        )
     stats.scan_seconds += time.perf_counter() - started
     return rules
 
@@ -353,6 +380,9 @@ def zero_miss_scan_rows(
     lists: Dict[int, Set[int]] = {}
     entries = 0
     rows = iter(rows)
+    curve = stats.pruning_curve
+    misses_base = stats.misses_recorded
+    misses_seen = 0
 
     def hand_over_to_bitmap_tail() -> None:
         cand = CandidateArray()
@@ -374,6 +404,7 @@ def zero_miss_scan_rows(
         if bitmap is not None and n_rows - position <= bitmap.switch_rows:
             if memory > bitmap.memory_budget_bytes:
                 stats.bitmap_switch_at = position
+                stats.misses_recorded = misses_base + misses_seen
                 if observer.enabled:
                     observer.on_bitmap_switch(position)
                 hand_over_to_bitmap_tail()
@@ -384,6 +415,7 @@ def zero_miss_scan_rows(
         ):
             stats.guard_tripped_at = position
             stats.bitmap_switch_at = position
+            stats.misses_recorded = misses_base + misses_seen
             if observer.enabled:
                 observer.on_guard_trip(position)
                 observer.on_bitmap_switch(position)
@@ -415,6 +447,7 @@ def zero_miss_scan_rows(
                     if dropped:
                         lists[column_j] = survivors
                         entries -= dropped
+                        misses_seen += dropped
                         stats.candidates_deleted += dropped
                         stats.candidates_deleted_budget += dropped
 
@@ -434,8 +467,29 @@ def zero_miss_scan_rows(
 
         memory = entries * BYTES_PER_ID + len(lists) * BYTES_PER_LIST
         stats.record_row(entries, memory)
+        if curve.due(stats.rows_scanned):
+            misses_now = misses_base + misses_seen
+            curve.sample(
+                stats.rows_scanned, entries, misses_now,
+                stats.rules_emitted,
+            )
+            if observer.enabled:
+                observer.on_curve_sample(
+                    stats.rows_scanned, entries, misses_now,
+                    stats.rules_emitted,
+                )
         if observer.enabled:
             observer.on_row(position, n_rows, entries, memory)
 
+    stats.misses_recorded = misses_base + misses_seen
+    curve.sample_final(
+        stats.rows_scanned, entries, stats.misses_recorded,
+        stats.rules_emitted,
+    )
+    if observer.enabled:
+        observer.on_curve_sample(
+            stats.rows_scanned, entries, stats.misses_recorded,
+            stats.rules_emitted,
+        )
     stats.scan_seconds += time.perf_counter() - started
     return rules

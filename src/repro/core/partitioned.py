@@ -28,6 +28,7 @@ preserves the exact rule set.
 from __future__ import annotations
 
 import warnings
+from contextlib import nullcontext
 from typing import List, Optional, Set, Tuple
 
 from repro.core.miss_counting import miss_counting_scan
@@ -38,7 +39,7 @@ from repro.core.rules import (
     SimilarityRule,
     canonical_before,
 )
-from repro.core.stats import PipelineStats
+from repro.core.stats import PipelineStats, ScanStats
 from repro.core.thresholds import (
     as_fraction,
     confidence_holds,
@@ -96,11 +97,15 @@ def _partition_rows(matrix: BinaryMatrix, n_partitions: int) -> List[List[int]]:
     return [chunk for chunk in chunks if chunk]
 
 
-def _mine_chunk(args) -> List[Tuple[int, int]]:
+def _mine_chunk(args, observer=None) -> List[Tuple[int, int]]:
     """Worker: mine one partition and return its unordered pairs.
 
     Module-level (not a closure) so it is picklable for
-    ``multiprocessing``.
+    ``multiprocessing``.  ``observer`` is the per-attempt worker-side
+    :class:`~repro.observe.RunObserver` injected by the supervisor's
+    ``worker_telemetry`` mode (or the parent observer when partitions
+    run serially); the chunk's scan folds onto its metrics under
+    ``scan="partition"`` so merged totals match a serial run exactly.
     """
     rows, n_columns, threshold, kind = args
     local = BinaryMatrix(rows, n_columns=n_columns)
@@ -110,7 +115,22 @@ def _mine_chunk(args) -> List[Tuple[int, int]]:
         )
     else:
         policy = SimilarityPolicy(local.column_ones(), threshold)
-    local_rules = miss_counting_scan(local, policy, order=scan_order(local))
+    scan_stats = ScanStats()
+    span = (
+        observer.span(
+            "partition-scan", rows=len(rows), columns=n_columns, kind=kind,
+        )
+        if hasattr(observer, "span")
+        else nullcontext()
+    )
+    with span:
+        local_rules = miss_counting_scan(
+            local, policy, order=scan_order(local), stats=scan_stats,
+            observer=observer,
+        )
+    metrics = getattr(observer, "metrics", None)
+    if metrics is not None:
+        metrics.record_scan("partition", scan_stats)
     pairs = {
         (min(rule.pair), max(rule.pair)) for rule in local_rules
     }
@@ -207,6 +227,13 @@ def _local_candidates(
                         RuntimeWarning,
                         stacklevel=2,
                     )
+            # Ship worker-side metrics/spans home only when someone is
+            # listening: a RunObserver (has a registry) that is enabled.
+            telemetry = (
+                observer is not None
+                and getattr(observer, "enabled", False)
+                and getattr(observer, "metrics", None) is not None
+            )
             supervisor = Supervisor(
                 _mine_chunk,
                 n_workers=n_workers,
@@ -217,6 +244,7 @@ def _local_candidates(
                 decode=_decode_chunk_result,
                 worker_faults=worker_faults,
                 observer=observer,
+                worker_telemetry=telemetry,
             )
             report = supervisor.run(tasks)
             per_chunk = report.results(tasks)
@@ -232,7 +260,7 @@ def _local_candidates(
             with context.Pool(min(n_workers, len(jobs))) as pool:
                 per_chunk = pool.map(_mine_chunk, jobs)
     else:
-        per_chunk = [_mine_chunk(job) for job in jobs]
+        per_chunk = [_mine_chunk(job, observer=observer) for job in jobs]
 
     candidates: Set[Tuple[int, int]] = set()
     for chunk_pairs in per_chunk:

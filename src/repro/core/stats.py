@@ -16,7 +16,98 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+#: Default row stride between pruning-curve samples.
+DEFAULT_CURVE_EVERY = 32
+
+#: Default bound on retained pruning-curve points (ring-buffer style:
+#: when full, every other point is dropped and the stride doubles).
+DEFAULT_CURVE_MAX_POINTS = 1024
+
+
+@dataclass
+class PruningCurve:
+    """Sampled candidate-survival trajectory of one scan.
+
+    The paper's Section 6 figures plot the candidate set decaying as
+    rows are consumed; this is that curve, captured live.  Every
+    ``every`` rows (and once at scan end) a point
+    ``(rows_scanned, live_candidates, cumulative_misses,
+    rules_emitted)`` is recorded.  The buffer is bounded: when
+    ``max_points`` is reached the curve decimates itself — every other
+    point is dropped and the stride doubles — so an arbitrarily long
+    run keeps a uniformly-spaced, fixed-memory curve whose final point
+    is always exact.
+    """
+
+    every: int = DEFAULT_CURVE_EVERY
+    max_points: int = DEFAULT_CURVE_MAX_POINTS
+    points: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("every must be at least 1")
+        if self.max_points < 4:
+            raise ValueError("max_points must be at least 4")
+
+    def due(self, rows_scanned: int) -> bool:
+        """Whether ``rows_scanned`` lands on the current sample stride."""
+        return rows_scanned % self.every == 0
+
+    def sample(
+        self,
+        rows_scanned: int,
+        live_candidates: int,
+        cumulative_misses: int,
+        rules_emitted: int,
+    ) -> None:
+        """Record one point, decimating first if the buffer is full."""
+        if len(self.points) >= self.max_points:
+            self.points = self.points[::2]
+            self.every *= 2
+        self.points.append(
+            (rows_scanned, live_candidates, cumulative_misses,
+             rules_emitted)
+        )
+
+    def sample_final(
+        self,
+        rows_scanned: int,
+        live_candidates: int,
+        cumulative_misses: int,
+        rules_emitted: int,
+    ) -> None:
+        """Record the end-of-scan point (replacing a same-row sample)."""
+        if self.points and self.points[-1][0] == rows_scanned:
+            self.points[-1] = (
+                rows_scanned, live_candidates, cumulative_misses,
+                rules_emitted,
+            )
+            return
+        self.sample(
+            rows_scanned, live_candidates, cumulative_misses, rules_emitted
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "every": self.every,
+            "max_points": self.max_points,
+            "points": [list(point) for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "PruningCurve":
+        """Rebuild a :class:`PruningCurve` written by :meth:`to_dict`."""
+        return cls(
+            every=record.get("every", DEFAULT_CURVE_EVERY),
+            max_points=record.get("max_points", DEFAULT_CURVE_MAX_POINTS),
+            points=[tuple(point) for point in record.get("points", [])],
+        )
 
 
 @dataclass
@@ -51,6 +142,11 @@ class ScanStats:
     rows_clamped: int = 0
     #: Transient spill-I/O errors that were retried successfully.
     io_retries: int = 0
+    #: Total miss-count increments observed during the scan (one per
+    #: candidate per row on which its implication failed).
+    misses_recorded: int = 0
+    #: Sampled candidate-survival trajectory (the paper's decay curves).
+    pruning_curve: PruningCurve = field(default_factory=PruningCurve)
     bitmap_bytes: int = 0
     bitmap_phase1_columns: int = 0
     bitmap_phase2_columns: int = 0
@@ -81,6 +177,7 @@ class ScanStats:
         self.rows_skipped += other.rows_skipped
         self.rows_clamped += other.rows_clamped
         self.io_retries += other.io_retries
+        self.misses_recorded += other.misses_recorded
         if self.guard_tripped_at is None:
             self.guard_tripped_at = other.guard_tripped_at
         self.bitmap_bytes = max(self.bitmap_bytes, other.bitmap_bytes)
@@ -125,6 +222,8 @@ class ScanStats:
             "rows_skipped": self.rows_skipped,
             "rows_clamped": self.rows_clamped,
             "io_retries": self.io_retries,
+            "misses_recorded": self.misses_recorded,
+            "pruning_curve": self.pruning_curve.to_dict(),
             "bitmap_bytes": self.bitmap_bytes,
             "bitmap_phase1_columns": self.bitmap_phase1_columns,
             "bitmap_phase2_columns": self.bitmap_phase2_columns,
@@ -140,6 +239,10 @@ class ScanStats:
             for field_name in cls.__dataclass_fields__
             if field_name in record
         }
+        if "pruning_curve" in known:
+            known["pruning_curve"] = PruningCurve.from_dict(
+                known["pruning_curve"]
+            )
         return cls(**known)
 
 
@@ -212,6 +315,17 @@ class PipelineStats:
             self.hundred_percent_scan.peak_entries,
             self.partial_scan.peak_entries,
         )
+
+    @property
+    def pruning_curve(self) -> List[Tuple[int, int, int, int]]:
+        """Sampled candidate-survival points for the dominant scan.
+
+        The <100% pass drives the paper's decay figures; runs that only
+        perform the 100%-rule pass fall back to that scan's curve.
+        """
+        if self.partial_scan.pruning_curve.points:
+            return list(self.partial_scan.pruning_curve.points)
+        return list(self.hundred_percent_scan.pruning_curve.points)
 
     @property
     def total_seconds(self) -> float:

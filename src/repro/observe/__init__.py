@@ -18,7 +18,13 @@ attribute check per row.
 - :mod:`~repro.observe.run` — :class:`RunObserver`, the bundle the
   mining entry points accept as ``observer=``;
 - :mod:`~repro.observe.exporters` — atomic file writers
-  (``--metrics`` / ``--trace`` in the CLI).
+  (``--metrics`` / ``--trace`` in the CLI);
+- :mod:`~repro.observe.journal` — append-only JSONL run journal
+  (``journal_path=`` / ``--journal``, ``python -m repro journal``);
+- :mod:`~repro.observe.live` / :mod:`~repro.observe.server` — the
+  in-flight run status and the ``/metrics`` / ``/healthz`` /
+  ``/runs/<run_id>`` HTTP endpoint (``serve_metrics_port=`` /
+  ``--serve-metrics``).
 
 Quickstart::
 
@@ -38,12 +44,20 @@ from repro.observe.exporters import (
     write_metrics,
     write_trace,
 )
+from repro.observe.journal import (
+    RunJournal,
+    read_journal,
+    summarize_journal,
+    tail_journal,
+)
+from repro.observe.live import LiveRunStatus
 from repro.observe.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    metrics_delta,
 )
 from repro.observe.progress import (
     NULL_OBSERVER,
@@ -51,7 +65,8 @@ from repro.observe.progress import (
     NullObserver,
     ProgressObserver,
 )
-from repro.observe.run import RunObserver
+from repro.observe.run import RunObserver, new_run_id
+from repro.observe.server import MetricsServer
 from repro.observe.tracer import Span, Tracer
 
 __all__ = [
@@ -60,16 +75,24 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "LiveRunStatus",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_OBSERVER",
     "NullObserver",
     "ProgressObserver",
+    "RunJournal",
     "RunObserver",
     "Span",
     "Tracer",
     "load_metrics",
     "load_trace",
+    "metrics_delta",
     "metrics_format_for",
+    "new_run_id",
+    "read_journal",
+    "summarize_journal",
+    "tail_journal",
     "write_metrics",
     "write_trace",
 ]

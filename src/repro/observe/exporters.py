@@ -10,8 +10,10 @@ Two formats:
   ``fmt="prometheus"``), so a run's metrics file can be dropped
   straight into a node-exporter textfile collector.
 
-Writes are atomic (temp file + rename) so a crash mid-export never
-leaves a truncated document behind.
+Writes go through :meth:`repro.runtime.storage.Storage
+.atomic_write_text` — temp file, fsync, rename, parent-directory
+fsync — so a crash mid-export never leaves a truncated document
+behind, and the rename itself survives a power cut.
 """
 
 from __future__ import annotations
@@ -22,18 +24,15 @@ from typing import Optional
 
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import Tracer
+from repro.runtime.storage import LOCAL_STORAGE
 
 #: Metrics-path suffixes that select the Prometheus text format.
 PROMETHEUS_SUFFIXES = (".prom", ".txt")
 
 
-def _atomic_write(path: str, content: str) -> None:
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(content)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
+def _atomic_write(path: str, content: str, storage=None) -> None:
+    storage = storage if storage is not None else LOCAL_STORAGE
+    storage.atomic_write_text(path, content)
 
 
 def metrics_format_for(path: str, fmt: Optional[str] = None) -> str:
@@ -49,20 +48,23 @@ def metrics_format_for(path: str, fmt: Optional[str] = None) -> str:
 
 
 def write_metrics(
-    registry: MetricsRegistry, path: str, fmt: Optional[str] = None
+    registry: MetricsRegistry,
+    path: str,
+    fmt: Optional[str] = None,
+    storage=None,
 ) -> str:
     """Write ``registry`` to ``path``; returns the format used."""
     resolved = metrics_format_for(path, fmt)
     if resolved == "prometheus":
-        _atomic_write(path, registry.to_prometheus())
+        _atomic_write(path, registry.to_prometheus(), storage=storage)
     else:
-        _atomic_write(path, registry.to_json() + "\n")
+        _atomic_write(path, registry.to_json() + "\n", storage=storage)
     return resolved
 
 
-def write_trace(tracer: Tracer, path: str) -> None:
+def write_trace(tracer: Tracer, path: str, storage=None) -> None:
     """Write ``tracer``'s span tree to ``path`` as JSON."""
-    _atomic_write(path, tracer.to_json() + "\n")
+    _atomic_write(path, tracer.to_json() + "\n", storage=storage)
 
 
 def load_trace(path: str) -> dict:

@@ -1,0 +1,280 @@
+"""Structured run journal: an append-only JSONL event log.
+
+Metrics answer "how much"; the journal answers "what happened, in what
+order".  Every notable state change of a run — phase transitions, the
+bitmap switch, guard trips, degradations, supervised-task retries and
+quarantines, checkpoints, rule-emission milestones, pruning-curve
+samples — is appended as one JSON object per line:
+
+    {"run_id": "...", "seq": 17, "ts": 1722950000.1,
+     "event": "bitmap-switch", "scan": "partial", "position": 96}
+
+``seq`` is a per-run monotonic sequence number, so readers can detect
+truncation (a torn tail line is expected after a crash and simply
+dropped) and interleave multiple journals by run.  Writes go through
+the :mod:`repro.runtime.storage` layer and are fsynced in batches
+(every ``fsync_every`` events, rate-limited to one sync per
+``fsync_min_interval`` seconds) — the journal is durable evidence,
+not a best-effort log.  A journal whose disk fails mid-run disables itself
+(mining never aborts because telemetry could not be written) and
+reports the degradation.
+
+Readers: :func:`read_journal` streams records, :func:`tail_journal`
+renders the last N, :func:`summarize_journal` folds a journal into a
+run summary — including reconstructing the pruning curve from the
+``curve-sample`` events, which is how the acceptance tests prove the
+journal carries the full candidate-decay story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.runtime.storage import LOCAL_STORAGE, io_error_kind
+
+JOURNAL_VERSION = 1
+
+#: Event names a journal may contain (documented reference; emitters
+#: are not restricted to this set, readers must tolerate unknown ones).
+KNOWN_EVENTS = (
+    "run-start",
+    "phase-start",
+    "phase-end",
+    "bitmap-switch",
+    "guard-trip",
+    "degradation",
+    "task-retry",
+    "task-quarantined",
+    "worker-restart",
+    "checkpoint",
+    "rules-milestone",
+    "curve-sample",
+    "run-end",
+)
+
+#: A ``rules-milestone`` event fires each time the emitted-rule count
+#: crosses another multiple of this.
+RULES_MILESTONE_EVERY = 100
+
+
+class RunJournal:
+    """Append-only JSONL journal for one mining run.
+
+    Thread-safe: the supervisor heartbeat thread, worker-merge path and
+    engine main thread may all emit concurrently.  ``fsync_every=0``
+    (or 1) fsyncs on every event — slow, maximally durable.  The
+    default batches: a count-triggered fsync additionally waits out
+    ``fsync_min_interval`` seconds since the last one, so a hot scan
+    pays at most a few fsyncs per second and a power cut loses at most
+    that interval's worth of trailing events (``close()`` always
+    syncs; a torn final line is tolerated by readers).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        run_id: str,
+        storage=None,
+        fsync_every: int = 32,
+        fsync_min_interval: float = 0.25,
+    ) -> None:
+        if fsync_every < 0:
+            raise ValueError("fsync_every must be >= 0")
+        if fsync_min_interval < 0:
+            raise ValueError("fsync_min_interval must be >= 0")
+        self.path = str(path)
+        self.run_id = run_id
+        self.storage = storage if storage is not None else LOCAL_STORAGE
+        self.fsync_every = fsync_every
+        self.fsync_min_interval = fsync_min_interval
+        self.disabled = False
+        #: The error that disabled the journal, if any (errno name).
+        self.error: Optional[str] = None
+        self._seq = 0
+        self._pending_sync = 0
+        self._last_fsync = time.monotonic()
+        self._lock = threading.Lock()
+        self._handle = None
+        directory = self._dirname()
+        if directory:
+            self.storage.makedirs(directory)
+        self._handle = self.storage.open(self.path, "a", encoding="utf-8")
+
+    def _dirname(self) -> str:
+        return os.path.dirname(os.path.abspath(self.path))
+
+    def emit(self, event: str, **payload) -> None:
+        """Append one event; never raises (a dead disk disables us)."""
+        if self.disabled or self._handle is None:
+            return
+        with self._lock:
+            if self.disabled:
+                return
+            record = {"run_id": self.run_id, "seq": self._seq,
+                      "ts": time.time(), "event": event}
+            record.update(payload)
+            try:
+                self._handle.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+                self._pending_sync += 1
+                if self._pending_sync >= self.fsync_every and (
+                    self.fsync_every <= 1
+                    or time.monotonic() - self._last_fsync
+                    >= self.fsync_min_interval
+                ):
+                    self.storage.fsync(self._handle)
+                    self._pending_sync = 0
+                    self._last_fsync = time.monotonic()
+            except OSError as error:
+                self.disabled = True
+                self.error = io_error_kind(error)
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+                return
+            self._seq += 1
+
+    def close(self) -> None:
+        """Flush, fsync and close the journal (idempotent)."""
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                self.storage.fsync(self._handle)
+            except OSError as error:
+                self.disabled = True
+                self.error = io_error_kind(error)
+            finally:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "disabled" if self.disabled else f"seq={self._seq}"
+        return f"RunJournal({self.path!r}, {state})"
+
+
+# ----------------------------------------------------------------------
+# Readers
+# ----------------------------------------------------------------------
+
+
+def read_journal(path: str, storage=None) -> Iterator[Dict[str, object]]:
+    """Yield journal records in file order, dropping a torn tail line.
+
+    A line that fails to parse *before* the last one indicates real
+    corruption and raises ``ValueError``; an unparsable final line is
+    the expected signature of a crash mid-append and is skipped.
+    """
+    storage = storage if storage is not None else LOCAL_STORAGE
+    with storage.open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except ValueError:
+            if index == len(lines) - 1:
+                return
+            raise ValueError(
+                f"{path}: corrupt journal line {index + 1}"
+            )
+
+
+def tail_journal(
+    path: str, count: int = 20, storage=None
+) -> List[Dict[str, object]]:
+    """The last ``count`` records of a journal."""
+    records = list(read_journal(path, storage=storage))
+    return records[-count:] if count else records
+
+
+def summarize_journal(path: str, storage=None) -> Dict[str, object]:
+    """Fold a journal into a run summary.
+
+    Returns run identity, event counts, the phase sequence with
+    durations, notable incidents, and the pruning curve reconstructed
+    from ``curve-sample`` events per scan — point-for-point the curve
+    the engine kept in :class:`repro.core.stats.PruningCurve` (the
+    journal records every sample the engine took, including the
+    decimation survivors' re-samples; the reconstruction keeps the
+    last record per row, mirroring ``sample_final``).
+    """
+    event_counts: Dict[str, int] = {}
+    phases: List[Dict[str, object]] = []
+    incidents: List[Dict[str, object]] = []
+    curves: Dict[str, Dict[int, Tuple[int, int, int, int]]] = {}
+    curve_orders: Dict[str, List[int]] = {}
+    run_id = None
+    first_ts = last_ts = None
+    rules_final = None
+    for record in read_journal(path, storage=storage):
+        event = record.get("event", "?")
+        event_counts[event] = event_counts.get(event, 0) + 1
+        if run_id is None:
+            run_id = record.get("run_id")
+        ts = record.get("ts")
+        if ts is not None:
+            if first_ts is None:
+                first_ts = ts
+            last_ts = ts
+        if event == "phase-start":
+            phases.append({"name": record.get("name"), "seconds": None})
+        elif event == "phase-end":
+            for phase in reversed(phases):
+                if phase["name"] == record.get("name"):
+                    phase["seconds"] = record.get("seconds")
+                    break
+        elif event in (
+            "bitmap-switch", "guard-trip", "degradation", "task-retry",
+            "task-quarantined", "worker-restart",
+        ):
+            incidents.append(record)
+        elif event == "curve-sample":
+            scan = record.get("scan", "")
+            point = (
+                record.get("rows_scanned", 0),
+                record.get("live_candidates", 0),
+                record.get("cumulative_misses", 0),
+                record.get("rules_emitted", 0),
+            )
+            per_scan = curves.setdefault(scan, {})
+            if point[0] not in per_scan:
+                curve_orders.setdefault(scan, []).append(point[0])
+            per_scan[point[0]] = point
+        elif event == "run-end":
+            rules_final = record.get("rules", rules_final)
+    return {
+        "version": JOURNAL_VERSION,
+        "run_id": run_id,
+        "events": event_counts,
+        "phases": phases,
+        "incidents": incidents,
+        "pruning_curves": {
+            scan: [list(per_scan[row]) for row in curve_orders[scan]]
+            for scan, per_scan in curves.items()
+        },
+        "rules": rules_final,
+        "wall_seconds": (
+            (last_ts - first_ts)
+            if first_ts is not None and last_ts is not None
+            else None
+        ),
+    }

@@ -122,6 +122,30 @@ class ProgressObserver:
     def on_task_quarantined(self, task_id: str) -> None:
         """A task exhausted its retries and awaits a serial re-run."""
 
+    def on_curve_sample(
+        self,
+        rows_scanned: int,
+        live_candidates: int,
+        cumulative_misses: int,
+        rules_emitted: int,
+        scan: str = "",
+    ) -> None:
+        """A pruning-curve point was sampled (every N rows + scan end)."""
+
+    def on_worker_telemetry(self, payload: dict, final: bool = False) -> None:
+        """A supervised worker shipped a telemetry delta.
+
+        ``payload`` carries ``task_id``/``attempt``/``worker_id`` plus a
+        serialized metrics document (and, when ``final`` is True, the
+        worker's spans for the finished attempt).  Non-final payloads
+        are periodic flushes of an attempt still in flight — they must
+        only feed *live* views (gauges), never exact counters, because
+        the attempt may yet fail and be retried.
+        """
+
+    def on_worker_heartbeats(self, heartbeats: dict) -> None:
+        """Supervisor liveness sweep: ``worker_id -> seconds since beat``."""
+
 
 class NullObserver(ProgressObserver):
     """The disabled observer: the engine pays one attribute check."""
@@ -133,25 +157,55 @@ class NullObserver(ProgressObserver):
 NULL_OBSERVER = NullObserver()
 
 
+#: Minimum seconds between row-progress lines on a non-TTY stream.
+NON_TTY_MIN_INTERVAL = 1.0
+
+
 class ConsoleProgress(ProgressObserver):
     """Print a throttled one-line progress report to a stream.
 
     ``every`` controls the row granularity (a report every N rows plus
     one at the end of each scan); phase transitions and bitmap/guard
     events are always reported.
+
+    When the stream is not a TTY (CI logs, redirected stderr) row
+    lines are additionally rate-limited to one per
+    ``min_interval`` seconds and written line-buffered (no per-line
+    flush), so a fast scan cannot flood a log collector.  Event and
+    phase lines are always flushed.
     """
 
     def __init__(
-        self, stream: Optional[TextIO] = None, every: int = 1000
+        self,
+        stream: Optional[TextIO] = None,
+        every: int = 1000,
+        min_interval: Optional[float] = None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be at least 1")
         self.stream = stream if stream is not None else sys.stderr
         self.every = every
         self._phase = "scan"
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+        if min_interval is None:
+            min_interval = 0.0 if self._tty else NON_TTY_MIN_INTERVAL
+        self.min_interval = min_interval
+        self._last_row_emit = 0.0
 
     def _emit(self, message: str) -> None:
         print(message, file=self.stream, flush=True)
+
+    def _emit_row_line(self, message: str) -> None:
+        """Row lines: rate-limited and unflushed on non-TTY streams."""
+        if self.min_interval:
+            now = time.monotonic()
+            if now - self._last_row_emit < self.min_interval:
+                return
+            self._last_row_emit = now
+        print(message, file=self.stream, flush=self._tty)
 
     def on_phase_start(self, name: str) -> None:
         self._phase = name
@@ -170,7 +224,7 @@ class ConsoleProgress(ProgressObserver):
     ) -> None:
         if (position + 1) % self.every and position + 1 != total:
             return
-        self._emit(
+        self._emit_row_line(
             f"[repro] {scan or self._phase}: row {position + 1}/{total} "
             f"candidates={entries} memory={memory_bytes}B"
         )

@@ -21,15 +21,19 @@ loop one attribute check per row.
 
 from __future__ import annotations
 
+import threading
+import uuid
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.observe.journal import RULES_MILESTONE_EVERY, RunJournal
+from repro.observe.live import LiveRunStatus
 from repro.observe.metrics import Gauge, MetricsRegistry
 from repro.observe.progress import (
     NULL_OBSERVER,
     ProgressObserver,
 )
-from repro.observe.tracer import Tracer
+from repro.observe.tracer import Span, Tracer
 
 #: Number of scan-position bands for the candidates-alive gauges.
 DEFAULT_BANDS = 10
@@ -39,9 +43,24 @@ TASK_SECONDS_BUCKETS = (
     0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0,
 )
 
+#: Span names that mark a checkpoint touch (journaled as events).
+_CHECKPOINT_SPANS = frozenset({"checkpoint-save", "checkpoint-load"})
+
+
+def new_run_id() -> str:
+    """A short, unique run identifier (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
 
 class RunObserver(ProgressObserver):
-    """Observe a mining run: nested spans, metrics, progress events."""
+    """Observe a mining run: nested spans, metrics, progress events.
+
+    Optionally also the run's *live* surfaces: a
+    :class:`~repro.observe.live.LiveRunStatus` (fed to the
+    :class:`~repro.observe.server.MetricsServer` routes) and a
+    :class:`~repro.observe.journal.RunJournal` receiving one event per
+    notable state change.  Both stay ``None``-cheap when absent.
+    """
 
     def __init__(
         self,
@@ -49,6 +68,9 @@ class RunObserver(ProgressObserver):
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressObserver] = None,
         bands: int = DEFAULT_BANDS,
+        run_id: Optional[str] = None,
+        journal: Optional[RunJournal] = None,
+        status: Optional[LiveRunStatus] = None,
     ) -> None:
         if bands < 1:
             raise ValueError("bands must be at least 1")
@@ -56,11 +78,31 @@ class RunObserver(ProgressObserver):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.progress = progress if progress is not None else NULL_OBSERVER
         self.bands = bands
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.journal = journal
+        self.status = status
         #: Counter-array high water observed between row boundaries.
         self.memory_high_water = 0
         self._scan = "scan"
         self._band_gauges: Dict[Tuple[str, int], Gauge] = {}
         self._live_gauges: Dict[str, Gauge] = {}
+        self._curve_gauges: Dict[str, Gauge] = {}
+        self._rules_milestone = 0
+        # Per-row state is buffered in plain scalars/dicts (single
+        # engine writer; GIL-atomic updates) and folded onto the
+        # registry by flush() — at curve-sample cadence, phase
+        # boundaries and finish() — so the hot loop never takes a
+        # registry lock.
+        self._flush_lock = threading.Lock()
+        self._rows_seen = 0
+        self._last_entries = 0
+        self._row_scan: Optional[str] = None
+        self._peak_band = -1
+        self._peak_value = -1
+        self._pending_entries: Dict[str, int] = {}
+        self._band_peaks: Dict[Tuple[str, int], int] = {}
+        #: Values already folded onto the gauges (dirty-skip cache).
+        self._flushed: Dict[object, int] = {}
 
     # ------------------------------------------------------------------
     # Context managers used by the pipelines
@@ -71,6 +113,10 @@ class RunObserver(ProgressObserver):
         """A top-level pipeline phase: traced span + scan label."""
         previous = self._scan
         self._scan = name
+        if self.status is not None:
+            self.status.set_phase(name)
+        if self.journal is not None:
+            self.journal.emit("phase-start", name=name)
         if self.progress.enabled:
             self.progress.on_phase_start(name)
         try:
@@ -78,6 +124,11 @@ class RunObserver(ProgressObserver):
                 yield
         finally:
             self._scan = previous
+            self.flush()
+            if self.journal is not None:
+                self.journal.emit(
+                    "phase-end", name=name, seconds=span.seconds
+                )
             if self.progress.enabled:
                 self.progress.on_phase_end(name, span.seconds)
 
@@ -86,6 +137,8 @@ class RunObserver(ProgressObserver):
         """A nested timed region inside the current phase."""
         with self.tracer.span(name, **attributes):
             yield
+        if self.journal is not None and name in _CHECKPOINT_SPANS:
+            self.journal.emit("checkpoint", kind=name, **attributes)
 
     def annotate(self, **attributes) -> None:
         """Attach attributes to the innermost open span."""
@@ -103,30 +156,84 @@ class RunObserver(ProgressObserver):
         memory_bytes: int,
         scan: str = "",
     ) -> None:
-        scan = scan or self._scan
-        live = self._live_gauges.get(scan)
-        if live is None:
-            live = self._live_gauges[scan] = self.metrics.gauge(
-                f"{self.metrics.prefix}_candidates_alive",
-                "Live candidate entries after the latest row.", scan=scan,
-            )
-        live.set(entries)
+        if not scan:
+            scan = self._scan
+        self._rows_seen += 1
+        self._last_entries = entries
         if memory_bytes > self.memory_high_water:
             self.memory_high_water = memory_bytes
-        band = min(
-            self.bands - 1, position * self.bands // total if total else 0
-        )
-        key = (scan, band)
-        gauge = self._band_gauges.get(key)
-        if gauge is None:
-            gauge = self._band_gauges[key] = self.metrics.gauge(
-                f"{self.metrics.prefix}_candidates_alive_band",
-                "Peak live candidate entries per scan-position band.",
-                scan=scan, band=str(band),
-            )
-        gauge.set_max(entries)
+        band = position * self.bands // total if total else 0
+        if band >= self.bands:
+            band = self.bands - 1
+        # Scalar fast path: dict writes only on scan/band transitions
+        # and new peaks, keeping the per-row cost a handful of ops.
+        if scan != self._row_scan or band != self._peak_band:
+            self._row_scan = scan
+            self._peak_band = band
+            self._pending_entries[scan] = entries
+            key = (scan, band)
+            peak = self._band_peaks.get(key, -1)
+            if entries > peak:
+                self._band_peaks[key] = entries
+                peak = entries
+            self._peak_value = peak
+        elif entries > self._peak_value:
+            self._peak_value = entries
+            self._band_peaks[(scan, band)] = entries
         if self.progress.enabled:
             self.progress.on_row(position, total, entries, memory_bytes, scan)
+
+    def flush(self) -> None:
+        """Fold buffered per-row state onto the registry and status.
+
+        Idempotent and thread-safe: gauges get last-value/peak
+        semantics, so re-flushing the same state is harmless.  Called
+        at curve-sample cadence, on phase boundaries, at finish(), and
+        by the supervisor's worker before serializing telemetry — the
+        live ``/metrics`` view is therefore at most one sample stale.
+        """
+        with self._flush_lock:
+            rows_seen = self._rows_seen
+            row_scan = self._row_scan
+            if row_scan is not None:
+                self._pending_entries[row_scan] = self._last_entries
+            try:
+                entries_by_scan = list(self._pending_entries.items())
+                band_peaks = list(self._band_peaks.items())
+            except RuntimeError:
+                # The engine inserted a new scan/band key mid-snapshot
+                # (worker flusher racing the hot loop); the next flush
+                # will pick the state up.
+                return
+        flushed = self._flushed
+        for scan, entries in entries_by_scan:
+            if flushed.get(scan) == entries:
+                continue
+            flushed[scan] = entries
+            live = self._live_gauges.get(scan)
+            if live is None:
+                live = self._live_gauges[scan] = self.metrics.gauge(
+                    f"{self.metrics.prefix}_candidates_alive",
+                    "Live candidate entries after the latest row.",
+                    scan=scan,
+                )
+            live.set(entries)
+        for key, peak in band_peaks:
+            if flushed.get(key) == peak:
+                continue
+            flushed[key] = peak
+            gauge = self._band_gauges.get(key)
+            if gauge is None:
+                scan, band = key
+                gauge = self._band_gauges[key] = self.metrics.gauge(
+                    f"{self.metrics.prefix}_candidates_alive_band",
+                    "Peak live candidate entries per scan-position band.",
+                    scan=scan, band=str(band),
+                )
+            gauge.set_max(peak)
+        if self.status is not None and rows_seen:
+            self.status.on_rows(rows_seen)
+            self.status.live_candidates = self._last_entries
 
     def observe_memory(self, memory_bytes: int) -> None:
         """Counter-array growth sample (may fire between rows)."""
@@ -140,6 +247,8 @@ class RunObserver(ProgressObserver):
             "Scan-order row at which the DMC-bitmap tail took over "
             "(-1: never).", scan=scan,
         ).set(position)
+        if self.journal is not None:
+            self.journal.emit("bitmap-switch", scan=scan, position=position)
         if self.progress.enabled:
             self.progress.on_bitmap_switch(position, scan)
 
@@ -149,6 +258,8 @@ class RunObserver(ProgressObserver):
             f"{self.metrics.prefix}_guard_trips_total",
             "Rows at which a MemoryGuard forced degradation.", scan=scan,
         ).inc()
+        if self.journal is not None:
+            self.journal.emit("guard-trip", scan=scan, position=position)
         if self.progress.enabled:
             self.progress.on_guard_trip(position, scan)
 
@@ -181,6 +292,8 @@ class RunObserver(ProgressObserver):
             f"{self.metrics.prefix}_degradations_total",
             "Storage-fault degradations taken, by ladder step.", path=path,
         ).inc()
+        if self.journal is not None:
+            self.journal.emit("degradation", path=path)
         if self.progress.enabled:
             self.progress.on_degradation(path)
 
@@ -212,16 +325,125 @@ class RunObserver(ProgressObserver):
         # The retry/restart/quarantine *counters* are folded from the
         # run's PipelineStats in finish() so they exist (at zero) for
         # every supervised run; here we only forward the live event.
+        if self.journal is not None:
+            self.journal.emit("task-retry", task_id=task_id, reason=reason)
         if self.progress.enabled:
             self.progress.on_task_retry(task_id, reason)
 
     def on_worker_restart(self, worker_id: int, reason: str) -> None:
+        if self.journal is not None:
+            self.journal.emit(
+                "worker-restart", worker_id=worker_id, reason=reason
+            )
         if self.progress.enabled:
             self.progress.on_worker_restart(worker_id, reason)
 
     def on_task_quarantined(self, task_id: str) -> None:
+        if self.journal is not None:
+            self.journal.emit("task-quarantined", task_id=task_id)
         if self.progress.enabled:
             self.progress.on_task_quarantined(task_id)
+
+    # ------------------------------------------------------------------
+    # Live telemetry hooks
+    # ------------------------------------------------------------------
+
+    def on_curve_sample(
+        self,
+        rows_scanned: int,
+        live_candidates: int,
+        cumulative_misses: int,
+        rules_emitted: int,
+        scan: str = "",
+    ) -> None:
+        """A pruning-curve point was sampled by the scan engine."""
+        scan = scan or self._scan
+        self.flush()
+        gauge = self._curve_gauges.get(scan)
+        if gauge is None:
+            gauge = self._curve_gauges[scan] = self.metrics.gauge(
+                f"{self.metrics.prefix}_live_candidates",
+                "Live candidates at the latest pruning-curve sample.",
+                scan=scan,
+            )
+        gauge.set(live_candidates)
+        if self.status is not None:
+            self.status.rules_emitted = rules_emitted
+        if self.journal is not None:
+            self.journal.emit(
+                "curve-sample",
+                scan=scan,
+                rows_scanned=rows_scanned,
+                live_candidates=live_candidates,
+                cumulative_misses=cumulative_misses,
+                rules_emitted=rules_emitted,
+            )
+            milestone = rules_emitted // RULES_MILESTONE_EVERY
+            if milestone > self._rules_milestone:
+                self._rules_milestone = milestone
+                self.journal.emit(
+                    "rules-milestone",
+                    scan=scan,
+                    rules_emitted=rules_emitted,
+                )
+        if self.progress.enabled:
+            self.progress.on_curve_sample(
+                rows_scanned, live_candidates, cumulative_misses,
+                rules_emitted, scan,
+            )
+
+    def on_worker_telemetry(self, payload: dict, final: bool = False) -> None:
+        """Merge a worker-shipped telemetry delta into this observer.
+
+        Non-final payloads are in-flight flushes: only gauges are
+        merged (high-water semantics make re-merging safe), because
+        the attempt may still fail and its counter deltas must never
+        land.  Final payloads — forwarded by the supervisor only for
+        *accepted* attempts — merge counters and histograms too, and
+        re-parent the worker's span tree under a ``task`` span tagged
+        with the task, attempt and worker ids.
+        """
+        metrics_document = payload.get("metrics")
+        if metrics_document:
+            if final:
+                self.metrics.merge_document(metrics_document)
+            else:
+                self.metrics.merge_document(
+                    metrics_document, kinds={"gauge"}
+                )
+        if final:
+            children = [
+                Span.from_dict(record)
+                for record in payload.get("spans") or []
+            ]
+            worker_id = str(payload.get("worker_id", "?"))
+            task_span = Span(
+                name="task",
+                start_seconds=0.0,
+                seconds=payload.get(
+                    "seconds", sum(child.seconds for child in children)
+                ),
+                attributes={
+                    "task_id": payload.get("task_id"),
+                    "attempt": payload.get("attempt"),
+                    "worker_id": worker_id,
+                },
+                children=children,
+            )
+            for child in children:
+                child.annotate_tree(worker_id=worker_id)
+            self.tracer.attach(task_span)
+        if self.progress.enabled:
+            self.progress.on_worker_telemetry(payload, final)
+
+    def on_worker_heartbeats(self, heartbeats: dict) -> None:
+        """Supervisor liveness sweep (worker id -> heartbeat age)."""
+        if self.status is not None:
+            self.status.set_worker_heartbeats(
+                {str(worker): age for worker, age in heartbeats.items()}
+            )
+        if self.progress.enabled:
+            self.progress.on_worker_heartbeats(heartbeats)
 
     # ------------------------------------------------------------------
     # End of run
@@ -235,6 +457,7 @@ class RunObserver(ProgressObserver):
         :class:`~repro.core.stats.PipelineStats`; ``guard`` an optional
         :class:`~repro.runtime.guards.MemoryGuard` that watched it.
         """
+        self.flush()
         if stats is not None:
             self.metrics.record_pipeline(stats)
         if guard is not None:
@@ -244,6 +467,18 @@ class RunObserver(ProgressObserver):
             "Counter-array high water across the run, including "
             "between-row spikes.",
         ).set_max(self.memory_high_water)
+        if self.status is not None:
+            self.status.finish()
+        if self.journal is not None and stats is not None:
+            self.journal.emit(
+                "run-end",
+                rules=stats.rules_hundred_percent + stats.rules_partial,
+                rows_scanned=(
+                    stats.hundred_percent_scan.rows_scanned
+                    + stats.partial_scan.rows_scanned
+                ),
+                degradations=list(stats.degradations),
+            )
 
     def __repr__(self) -> str:
         return (

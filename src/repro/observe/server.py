@@ -1,0 +1,164 @@
+"""Dependency-free live metrics endpoint for in-flight runs.
+
+:class:`MetricsServer` wraps a stdlib ``ThreadingHTTPServer`` on a
+daemon thread and serves three routes:
+
+- ``/metrics`` — the registry in the Prometheus text exposition
+  format, with the format's versioned ``Content-Type``, scrapeable by
+  a stock Prometheus;
+- ``/healthz`` — a small JSON liveness document (run phase, rows/sec,
+  worker-heartbeat ages) with a 200/503 status split on run failure;
+- ``/runs/<run_id>`` — the full JSON snapshot of the identified run
+  (404 for an unknown id).
+
+The server binds before the constructor returns (``port=0`` picks an
+ephemeral port, exposed as :attr:`port`), so tests and scripts can
+scrape immediately.  :meth:`close` shuts the listener down and joins
+the thread; the object is also a context manager, and `repro.mine`
+closes it on run completion and on SIGTERM via
+:func:`repro.runtime.supervisor.graceful_interrupts`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.observe.live import LiveRunStatus
+from repro.observe.metrics import MetricsRegistry
+
+#: The Prometheus text exposition format's content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Heartbeat age (seconds) past which ``/healthz`` flags a worker.
+WORKER_STALE_SECONDS = 10.0
+
+
+class MetricsServer:
+    """Serve live metrics for one process's runs.
+
+    ``registry`` is scraped by ``/metrics``; ``status`` (optional)
+    feeds ``/healthz`` and is looked up by ``/runs/<run_id>``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        status: Optional[LiveRunStatus] = None,
+    ) -> None:
+        self.registry = registry
+        self.status = status
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # no access-log noise on stderr
+
+            def _send(self, code, content_type, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802
+                try:
+                    if self.path == "/metrics":
+                        body = server.registry.to_prometheus().encode(
+                            "utf-8"
+                        )
+                        self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+                    elif self.path == "/healthz":
+                        code, document = server.health()
+                        self._send(
+                            code, "application/json",
+                            json.dumps(document).encode("utf-8"),
+                        )
+                    elif self.path.startswith("/runs/"):
+                        run_id = self.path[len("/runs/"):]
+                        status = server.status
+                        if status is None or status.run_id != run_id:
+                            self._send(
+                                404, "application/json",
+                                json.dumps(
+                                    {"error": "unknown run",
+                                     "run_id": run_id}
+                                ).encode("utf-8"),
+                            )
+                        else:
+                            self._send(
+                                200, "application/json",
+                                json.dumps(status.snapshot()).encode(
+                                    "utf-8"
+                                ),
+                            )
+                    else:
+                        self._send(
+                            404, "text/plain; charset=utf-8",
+                            b"repro: /metrics /healthz /runs/<run_id>\n",
+                        )
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # client went away mid-response
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self.closed = False
+
+    @property
+    def url(self) -> str:
+        """Base URL of the listener (e.g. ``http://127.0.0.1:8321``)."""
+        return f"http://{self.host}:{self.port}"
+
+    def health(self):
+        """The ``/healthz`` response as ``(status_code, document)``."""
+        status = self.status
+        if status is None:
+            return 200, {"status": "ok", "run": None}
+        heartbeats = status.worker_heartbeats()
+        stale = [
+            worker
+            for worker, age in heartbeats.items()
+            if age > WORKER_STALE_SECONDS
+        ]
+        document = {
+            "status": "failed" if status.failed else "ok",
+            "run_id": status.run_id,
+            "phase": status.phase,
+            "finished": status.finished,
+            "rows_scanned": status.rows_scanned,
+            "rows_per_second": status.rows_per_second(),
+            "workers": heartbeats,
+            "stale_workers": stale,
+        }
+        return (503 if status.failed else 200), document
+
+    def close(self) -> None:
+        """Stop serving and join the listener thread (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "serving"
+        return f"MetricsServer({self.url}, {state})"

@@ -53,6 +53,30 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        """Rebuild a span subtree written by :meth:`to_dict`.
+
+        Used to re-parent worker-process spans (shipped as JSON over
+        the result pipe) into the parent tracer's tree.
+        """
+        return cls(
+            name=record.get("name", ""),
+            start_seconds=record.get("start_seconds", 0.0),
+            seconds=record.get("seconds", 0.0),
+            attributes=dict(record.get("attributes", {})),
+            children=[
+                cls.from_dict(child)
+                for child in record.get("children", [])
+            ],
+        )
+
+    def annotate_tree(self, **attributes: Any) -> None:
+        """Set ``attributes`` on this span and every descendant."""
+        self.attributes.update(attributes)
+        for child in self.children:
+            child.annotate_tree(**attributes)
+
 
 class Tracer:
     """Collects a forest of nested spans with wall-clock timings."""
@@ -95,6 +119,18 @@ class Tracer:
         """Attach attributes to the innermost open span (no-op outside)."""
         if self._stack:
             self._stack[-1].attributes.update(attributes)
+
+    def attach(self, span: Span) -> None:
+        """Graft an already-finished span under the current position.
+
+        The span becomes a child of the innermost open span, or a
+        top-level span when none is open — how worker-side span trees
+        are re-parented under the dispatching task's span.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation of the whole trace."""

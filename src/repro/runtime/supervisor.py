@@ -271,20 +271,79 @@ def _worker_loop(
     result_conn,
     heartbeat,
     fault_plan: Optional[WorkerFaultPlan],
+    telemetry: bool = False,
+    flush_interval: float = 0.5,
 ) -> None:
     """Entry point of a spawned worker: serve tasks until told to stop.
 
     Messages sent over ``result_conn`` are
     ``(task_id, attempt, status, result)`` with ``status`` in
-    ``{"ok", "error"}``; the attempt number lets the supervisor discard
-    stale results from an assignment it already gave up on.  The pipe
-    has this worker as its only writer — ``Connection.send`` writes
-    directly, with no feeder thread and no lock shared with siblings —
-    so dying mid-send cannot wedge anyone else.
+    ``{"ok", "error", "telemetry"}``; the attempt number lets the
+    supervisor discard stale results from an assignment it already gave
+    up on.  The pipe has this worker as its only writer —
+    ``Connection.send`` writes directly, with no feeder thread and no
+    lock shared with siblings — so dying mid-send cannot wedge anyone
+    else.  (Within this process the main loop and the telemetry flusher
+    thread do share the pipe, serialized by a local lock.)
+
+    With ``telemetry`` on, each task attempt runs against a fresh
+    :class:`repro.observe.RunObserver` passed to ``fn`` as
+    ``observer=``:
+
+    - every ``flush_interval`` seconds an in-flight snapshot of the
+      attempt's metrics is sent as a non-final ``"telemetry"`` message
+      (the parent folds only its gauges — a live view);
+    - a completed attempt sends one final ``"telemetry"`` message
+      (metrics document plus the observer's span trees) *before* its
+      ``"ok"`` result, so pipe ordering guarantees the parent holds the
+      telemetry by the time it accepts the result.  Counters merge from
+      this final message only, and only for accepted attempts — which
+      is what keeps the merged totals equal to a serial run's even when
+      attempts crash and retry.
     """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    #: The in-flight attempt the flusher may snapshot (guarded).
+    inflight = {"observer": None, "task_id": None, "attempt": None}
+    inflight_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            result_conn.send(message)
+
+    if telemetry:
+
+        def flush_loop() -> None:
+            while not stop.wait(flush_interval):
+                with inflight_lock:
+                    observer = inflight["observer"]
+                    task_id = inflight["task_id"]
+                    attempt = inflight["attempt"]
+                if observer is None:
+                    continue
+                observer.flush()
+                payload = {
+                    "task_id": task_id,
+                    "attempt": attempt,
+                    "worker_id": worker_id,
+                    "final": False,
+                    "metrics": observer.metrics.to_dict(),
+                }
+                try:
+                    send((task_id, attempt, "telemetry", payload))
+                except (BrokenPipeError, OSError):
+                    return
+
+        threading.Thread(
+            target=flush_loop,
+            name=f"repro-telemetry-flush-{worker_id}",
+            daemon=True,
+        ).start()
+
     while True:
         item = task_queue.get()
         if item is None:
+            stop.set()
             return
         task_id, attempt, payload = item
         heartbeat.value = time.time()
@@ -298,8 +357,21 @@ def _worker_loop(
         if mode == "hang":
             while True:  # hold the task forever; only a kill ends this
                 time.sleep(3600)
+        observer = None
+        if telemetry:
+            from repro.observe import RunObserver
+
+            observer = RunObserver()
+            with inflight_lock:
+                inflight["observer"] = observer
+                inflight["task_id"] = task_id
+                inflight["attempt"] = attempt
+        started = time.perf_counter()
         try:
-            result = fn(payload)
+            if observer is not None:
+                result = fn(payload, observer=observer)
+            else:
+                result = fn(payload)
             if mode == "corrupt":
                 result = _corrupt_result(result)
             message = (task_id, attempt, "ok", result)
@@ -308,8 +380,28 @@ def _worker_loop(
                 task_id, attempt, "error",
                 f"{type(error).__name__}: {error}",
             )
+        if observer is not None:
+            with inflight_lock:
+                inflight["observer"] = None
+            if message[2] == "ok":
+                observer.flush()
+                telemetry_payload = {
+                    "task_id": task_id,
+                    "attempt": attempt,
+                    "worker_id": worker_id,
+                    "final": True,
+                    "seconds": time.perf_counter() - started,
+                    "metrics": observer.metrics.to_dict(),
+                    "spans": [
+                        span.to_dict() for span in observer.tracer.spans
+                    ],
+                }
+                try:
+                    send((task_id, attempt, "telemetry", telemetry_payload))
+                except (BrokenPipeError, OSError):
+                    return
         try:
-            result_conn.send(message)
+            send(message)
         except (BrokenPipeError, OSError):
             return  # supervisor gave up on us; nothing left to serve
         heartbeat.value = time.time()
@@ -409,7 +501,20 @@ class Supervisor:
     observer:
         Any :class:`~repro.observe.ProgressObserver`; sees
         ``on_task_done`` / ``on_task_retry`` / ``on_worker_restart`` /
-        ``on_task_quarantined`` events.
+        ``on_task_quarantined`` events — plus, with
+        ``worker_telemetry``, ``on_worker_telemetry`` (merged worker
+        metrics/spans) and ``on_worker_heartbeats`` (liveness sweeps).
+    worker_telemetry:
+        Give every task attempt its own worker-side
+        :class:`~repro.observe.RunObserver` (``fn`` must then accept an
+        ``observer=`` keyword).  The worker ships periodic in-flight
+        snapshots and one final metrics+spans document per completed
+        attempt over its result pipe; the supervisor forwards finals to
+        ``observer.on_worker_telemetry(payload, final=True)`` only for
+        *accepted* attempts, so merged counters stay exact under
+        retries and crashes.
+    telemetry_flush_interval:
+        Seconds between a worker's in-flight telemetry snapshots.
     backoff_base / poll_interval:
         Retry backoff seed (doubles per failure) and the result-queue
         poll granularity.
@@ -427,6 +532,8 @@ class Supervisor:
         decode: Optional[Callable[[Any], Any]] = None,
         worker_faults: Optional[WorkerFaultPlan] = None,
         observer=None,
+        worker_telemetry: bool = False,
+        telemetry_flush_interval: float = 0.5,
         backoff_base: float = 0.05,
         poll_interval: float = 0.02,
     ) -> None:
@@ -436,6 +543,8 @@ class Supervisor:
             raise ValueError("task_retries must be non-negative")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if telemetry_flush_interval <= 0:
+            raise ValueError("telemetry_flush_interval must be positive")
         self.fn = fn
         self.n_workers = n_workers
         self.task_timeout = task_timeout
@@ -445,6 +554,8 @@ class Supervisor:
         self.decode = decode
         self.worker_faults = worker_faults
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.worker_telemetry = worker_telemetry
+        self.telemetry_flush_interval = telemetry_flush_interval
         self.backoff_base = backoff_base
         self.poll_interval = poll_interval
         self._next_worker_id = 0
@@ -522,13 +633,28 @@ class Supervisor:
     def _run_serial(
         self, task: Task, report: SupervisorReport, quarantined: bool
     ) -> None:
-        """Run one task in-process, with the same retry budget."""
+        """Run one task in-process, with the same retry budget.
+
+        With ``worker_telemetry`` on, each attempt gets its own side
+        observer whose document merges into the main observer only on
+        success — the same accepted-attempts-only discipline as the
+        pool path, so serial degradation and quarantine re-runs keep
+        the merged counters equal to a clean run's.
+        """
         attempt = 0
         while True:
             attempt += 1
             started = time.perf_counter()
+            side_observer = None
+            if self.worker_telemetry:
+                from repro.observe import RunObserver
+
+                side_observer = RunObserver()
             try:
-                result = self.fn(task.payload)
+                if side_observer is not None:
+                    result = self.fn(task.payload, observer=side_observer)
+                else:
+                    result = self.fn(task.payload)
             except Exception as error:
                 if attempt > self.task_retries:
                     raise SupervisorError(
@@ -547,6 +673,26 @@ class Supervisor:
                 raise SupervisorError(
                     f"task {task.task_id!r} produced an invalid result "
                     "in-process"
+                )
+            if side_observer is not None:
+                side_observer.flush()
+                self._notify(
+                    "on_worker_telemetry",
+                    {
+                        "task_id": task.task_id,
+                        "attempt": attempt,
+                        "worker_id": (
+                            "quarantine" if quarantined else "serial"
+                        ),
+                        "final": True,
+                        "seconds": seconds,
+                        "metrics": side_observer.metrics.to_dict(),
+                        "spans": [
+                            span.to_dict()
+                            for span in side_observer.tracer.spans
+                        ],
+                    },
+                    True,
                 )
             self._complete(task, result, attempt, seconds, report,
                            quarantined=quarantined)
@@ -568,6 +714,9 @@ class Supervisor:
         attempts: Dict[str, int] = {}
         started_at: Dict[str, float] = {}
         quarantine: List[Task] = []
+        #: Final telemetry payloads awaiting their attempt's acceptance.
+        telemetry_buffer: Dict = {}
+        last_heartbeat_notify = 0.0
         target = len(pending)
         #: Consecutive worker deaths with no task completing in between;
         #: past the budget the pool is declared broken and the caller
@@ -592,6 +741,7 @@ class Supervisor:
                 args=(
                     worker_id, self.fn, task_queue, send_conn,
                     heartbeat, self.worker_faults,
+                    self.worker_telemetry, self.telemetry_flush_interval,
                 ),
                 daemon=True,
             )
@@ -607,6 +757,10 @@ class Supervisor:
 
         def fail(handle: Optional[_WorkerHandle], task: Task, reason: str):
             nonlocal tiebreak
+            # A failed attempt's telemetry must never merge.
+            telemetry_buffer.pop(
+                (task.task_id, attempts.get(task.task_id)), None
+            )
             count = failures.get(task.task_id, 0) + 1
             failures[task.task_id] = count
             if count > self.task_retries:
@@ -699,6 +853,21 @@ class Supervisor:
                         and handle.task.task_id == task_id
                         and handle.attempt == attempt
                     )
+                    if status == "telemetry":
+                        # Worker metrics/spans ride the same ordered
+                        # pipe as results.  Finals wait in the buffer
+                        # until their attempt is *accepted*; in-flight
+                        # snapshots feed only live gauges.  Either way
+                        # a stale assignment's telemetry is dropped.
+                        if not current:
+                            continue
+                        if result.get("final"):
+                            telemetry_buffer[(task_id, attempt)] = result
+                        else:
+                            self._notify(
+                                "on_worker_telemetry", result, False
+                            )
+                        continue
                     if current:
                         task = handle.task
                         handle.task = None
@@ -709,6 +878,13 @@ class Supervisor:
                         ):
                             deaths_without_progress = 0
                             seconds = time.time() - started_at[task_id]
+                            buffered = telemetry_buffer.pop(
+                                (task_id, attempt), None
+                            )
+                            if buffered is not None:
+                                self._notify(
+                                    "on_worker_telemetry", buffered, True
+                                )
                             self._complete(
                                 task, result, attempt, seconds, report,
                                 quarantined=False,
@@ -722,6 +898,23 @@ class Supervisor:
 
                 # 3. Liveness and hang sweep.
                 now = time.time()
+                if (
+                    self.observer.enabled
+                    and now - last_heartbeat_notify >= 0.5
+                ):
+                    last_heartbeat_notify = now
+                    self._notify(
+                        "on_worker_heartbeats",
+                        {
+                            handle.worker_id: (
+                                round(now - handle.heartbeat.value, 3)
+                                if handle.heartbeat.value
+                                else -1.0
+                            )
+                            for handle in workers
+                            if handle.process.is_alive()
+                        },
+                    )
                 for handle in list(workers):
                     if not handle.process.is_alive():
                         task = handle.task
