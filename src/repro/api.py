@@ -88,6 +88,16 @@ class MiningConfig:
         serially in-process, and the directory for the shard ledger
         that lets a killed run resume with only its unfinished
         partitions.
+    transport / nodes:
+        ``transport="remote"`` mines the partitions on distributed node
+        agents (:mod:`repro.runtime.agent`) coordinated through the
+        lease-fenced ``ledger_dir`` (required), instead of the local
+        spawn pool; implies ``partitioned=True``.  ``nodes=N`` spawns N
+        agent subprocesses on this host; ``nodes=0`` (the default)
+        expects externally launched ``python -m repro agent --ledger
+        DIR`` processes.  A ready-made
+        :class:`repro.runtime.transport.Transport` instance is also
+        accepted.
     memory_budget:
         Hard counter-array budget in bytes; the DMC attempt degrades to
         the partitioned engine when exceeded (in-memory data only).
@@ -148,6 +158,8 @@ class MiningConfig:
     task_timeout: Optional[float] = None
     task_retries: int = 2
     ledger_dir: Optional[str] = None
+    transport: Optional[object] = None
+    nodes: int = 0
     memory_budget: Optional[int] = None
     spill_dir: Optional[str] = None
     checkpoint_dir: Optional[str] = None
@@ -175,6 +187,21 @@ class MiningConfig:
             )
         if self.task_retries < 0:
             raise ValueError("task_retries must be non-negative")
+        if self.transport is not None and self.memory_budget is not None:
+            raise ValueError(
+                "transport= and memory_budget= are mutually exclusive "
+                "(a distributed run is always partitioned)"
+            )
+        if self.transport == "remote" and self.ledger_dir is None:
+            raise ValueError(
+                "transport='remote' needs ledger_dir= as the shared "
+                "coordination directory"
+            )
+        if self.nodes:
+            if self.nodes < 0:
+                raise ValueError("nodes must be non-negative")
+            if self.transport != "remote":
+                raise ValueError("nodes= requires transport='remote'")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
         if self.serve_metrics_port is not None and not (
@@ -396,10 +423,14 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
 def _dispatch_engines(config, matrix, source, options, stats, observer):
     """Run the configured engine; returns ``(rules, engine_name)``."""
     if matrix is None:
-        if config.partitioned or config.memory_budget is not None:
+        if (
+            config.partitioned
+            or config.transport is not None
+            or config.memory_budget is not None
+        ):
             raise ValueError(
-                "partitioned/memory-budget mining needs in-memory data; "
-                "load the source into a BinaryMatrix first"
+                "partitioned/distributed/memory-budget mining needs "
+                "in-memory data; load the source into a BinaryMatrix first"
             )
         streamer = (
             stream_implication_rules
@@ -435,7 +466,7 @@ def _dispatch_engines(config, matrix, source, options, stats, observer):
             stats=stats,
             observer=observer,
         )
-    elif config.partitioned:
+    elif config.partitioned or config.transport is not None:
         partitioner = (
             find_implication_rules_partitioned
             if config.task == "implication"
@@ -450,6 +481,8 @@ def _dispatch_engines(config, matrix, source, options, stats, observer):
             task_retries=config.task_retries,
             ledger_dir=config.ledger_dir,
             storage=config.storage,
+            transport=config.transport,
+            nodes=config.nodes,
             stats=stats,
             observer=observer,
         )

@@ -23,6 +23,12 @@ runtime (:mod:`repro.runtime.supervisor`): crash/hang/corrupt-tolerant
 spawn workers, per-task retry with backoff, quarantine with serial
 re-run, and an optional shard ledger for resume — every recovery path
 preserves the exact rule set.
+
+With ``transport="remote"`` (or a :class:`repro.runtime.transport.
+Transport` instance) the same partition tasks run on distributed node
+agents coordinated through the lease-fenced ledger directory — see
+:mod:`repro.runtime.transport` — with the identical exactness
+contract: no network fault plan may change the mined rule set.
 """
 
 from __future__ import annotations
@@ -156,6 +162,36 @@ def _decode_chunk_result(result) -> List[Tuple[int, int]]:
     return [tuple(entry) for entry in result]
 
 
+def _resolve_transport(transport, nodes, ledger_dir, storage):
+    """Turn the ``transport=`` / ``nodes=`` knobs into a Transport.
+
+    ``None`` / ``"local"`` keep the default spawn pool (``nodes`` must
+    then be 0); ``"remote"`` builds a :class:`~repro.runtime.transport.
+    RemoteTransport` on the ledger directory; anything else must be a
+    ready-made :class:`~repro.runtime.transport.Transport` (tests pass
+    instances with short lease TTLs and fault plans).
+    """
+    if transport is None or transport == "local":
+        if nodes:
+            raise ValueError("nodes= requires transport='remote'")
+        return None
+    if transport == "remote":
+        if ledger_dir is None:
+            raise ValueError(
+                "transport='remote' needs ledger_dir= as the shared "
+                "coordination directory"
+            )
+        from repro.runtime.transport import RemoteTransport
+
+        return RemoteTransport(ledger_dir, nodes=nodes, storage=storage)
+    if not hasattr(transport, "run_tasks"):
+        raise ValueError(
+            f"transport must be None, 'local', 'remote' or a Transport "
+            f"instance, not {transport!r}"
+        )
+    return transport
+
+
 def _local_candidates(
     matrix: BinaryMatrix,
     threshold,
@@ -171,9 +207,11 @@ def _local_candidates(
     supervise: bool = True,
     worker_faults=None,
     storage=None,
+    transport=None,
+    nodes: int = 0,
 ) -> Set[Tuple[int, int]]:
-    """Mine every partition (serially, supervised, or in a bare pool)
-    and union the locally-valid pairs."""
+    """Mine every partition (serially, supervised, in a bare pool, or
+    on a distributed transport) and union the locally-valid pairs."""
     jobs = [
         (
             [matrix.row(row_id) for row_id in chunk],
@@ -185,8 +223,13 @@ def _local_candidates(
     ]
     if not jobs:  # empty matrix: nothing to mine, no pool to size
         return set()
-    if n_workers is not None and n_workers > 1 and len(jobs) > 1:
-        if supervise:
+    transport_obj = _resolve_transport(transport, nodes, ledger_dir, storage)
+    # A non-default transport always runs supervised: the supervisor is
+    # the policy half of the transport seam.
+    if transport_obj is not None or (
+        n_workers is not None and n_workers > 1 and len(jobs) > 1
+    ):
+        if supervise or transport_obj is not None:
             from repro.runtime.supervisor import (
                 ShardLedger,
                 Supervisor,
@@ -236,7 +279,7 @@ def _local_candidates(
             )
             supervisor = Supervisor(
                 _mine_chunk,
-                n_workers=n_workers,
+                n_workers=n_workers if n_workers is not None else 2,
                 task_timeout=task_timeout,
                 task_retries=task_retries,
                 validate=_valid_chunk_result,
@@ -245,12 +288,17 @@ def _local_candidates(
                 worker_faults=worker_faults,
                 observer=observer,
                 worker_telemetry=telemetry,
+                transport=transport_obj,
             )
             report = supervisor.run(tasks)
             per_chunk = report.results(tasks)
             stats.worker_restarts += report.worker_restarts
             stats.task_retries += report.task_retries
             stats.tasks_quarantined += report.tasks_quarantined
+            stats.lease_expiries += report.lease_expiries
+            stats.node_redispatches += report.node_redispatches
+            stats.node_results_deduped += report.node_results_deduped
+            stats.degradations.extend(report.degradations)
             if report.ledger_disabled:
                 stats.degradations.append("ledger-off")
         else:
@@ -285,6 +333,8 @@ def find_implication_rules_partitioned(
     supervise: bool = True,
     worker_faults=None,
     storage=None,
+    transport=None,
+    nodes: int = 0,
 ) -> RuleSet:
     """Mine implication rules by partitioned candidate generation.
 
@@ -303,6 +353,16 @@ def find_implication_rules_partitioned(
     ``verify-candidates`` phase plus the supervisor's task events;
     recovery counters land on ``stats.worker_restarts`` /
     ``stats.task_retries`` / ``stats.tasks_quarantined``.
+
+    ``transport="remote"`` (with ``ledger_dir`` as the shared
+    coordination directory) mines the partitions on distributed node
+    agents instead of the local pool; ``nodes=N`` spawns N agent
+    subprocesses on this host, ``nodes=0`` uses externally launched
+    ``python -m repro agent`` processes.  Lease expiries, shard
+    re-dispatches and deduped duplicate results land on
+    ``stats.lease_expiries`` / ``stats.node_redispatches`` /
+    ``stats.node_results_deduped``, and degradation-ladder steps on
+    ``stats.degradations``.
     """
     minconf = as_fraction(minconf)
     sinks = _resolve_logs(candidate_log, stats)
@@ -321,6 +381,7 @@ def find_implication_rules_partitioned(
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
             worker_faults=worker_faults, storage=storage,
+            transport=transport, nodes=nodes,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections
@@ -364,6 +425,8 @@ def find_similarity_rules_partitioned(
     supervise: bool = True,
     worker_faults=None,
     storage=None,
+    transport=None,
+    nodes: int = 0,
 ) -> RuleSet:
     """Mine similarity rules by partitioned candidate generation.
 
@@ -391,6 +454,7 @@ def find_similarity_rules_partitioned(
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
             worker_faults=worker_faults, storage=storage,
+            transport=transport, nodes=nodes,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections

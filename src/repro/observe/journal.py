@@ -50,6 +50,8 @@ KNOWN_EVENTS = (
     "task-retry",
     "task-quarantined",
     "worker-restart",
+    "lease-expired",
+    "node-redispatch",
     "checkpoint",
     "rules-milestone",
     "curve-sample",
@@ -244,7 +246,8 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
                     break
         elif event in (
             "bitmap-switch", "guard-trip", "degradation", "task-retry",
-            "task-quarantined", "worker-restart",
+            "task-quarantined", "worker-restart", "lease-expired",
+            "node-redispatch",
         ):
             incidents.append(record)
         elif event == "curve-sample":

@@ -31,6 +31,9 @@ class LiveRunStatus:
         self._lock = threading.Lock()
         #: worker id -> seconds since last heartbeat at the last sweep.
         self._worker_heartbeats: Dict[str, float] = {}
+        #: node id -> status dict at the coordinator's last sweep
+        #: (distributed transport only; empty for local runs).
+        self._node_table: Dict[str, dict] = {}
         self._rate_window_rows = 0
         self._rate_window_start = self.started_monotonic
         self._rows_per_second = 0.0
@@ -56,6 +59,12 @@ class LiveRunStatus:
         with self._lock:
             self._worker_heartbeats = dict(heartbeats)
 
+    def set_node_table(self, nodes: Dict[str, dict]) -> None:
+        with self._lock:
+            self._node_table = {
+                node_id: dict(record) for node_id, record in nodes.items()
+            }
+
     def finish(self, failed: Optional[str] = None) -> None:
         self.failed = failed
         self.finished = True
@@ -70,6 +79,13 @@ class LiveRunStatus:
         with self._lock:
             return dict(self._worker_heartbeats)
 
+    def node_table(self) -> Dict[str, dict]:
+        with self._lock:
+            return {
+                node_id: dict(record)
+                for node_id, record in self._node_table.items()
+            }
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready point-in-time view (the ``/runs/<id>`` body)."""
         return {
@@ -82,6 +98,7 @@ class LiveRunStatus:
             "rules_emitted": self.rules_emitted,
             "rows_per_second": self.rows_per_second(),
             "workers": self.worker_heartbeats(),
+            "nodes": self.node_table(),
             "finished": self.finished,
             "failed": self.failed,
         }

@@ -30,6 +30,13 @@ The paper proves the mining *algorithms* exact; this package keeps the
 - :mod:`repro.runtime.crashpoints` — ALICE-style crash-point
   enumeration built on that op counting: crash a workload at every
   storage operation, recover, and demand the exact rule set each time.
+- :mod:`repro.runtime.transport` — the pluggable worker-execution
+  seam under the supervisor: :class:`LocalTransport` (the spawn pool)
+  and :class:`RemoteTransport` (node agents over shared storage with
+  lease-fenced coordination and a node-loss degradation ladder).
+- :mod:`repro.runtime.agent` — the node-agent process
+  (``python -m repro agent``) that claims shard tasks under leases,
+  renews on heartbeat, and publishes results first-writer-wins.
 
 See :mod:`repro.matrix.stream` for the pipelines these wrap, and the
 "Fault tolerance & recovery" / "Durability & degraded modes" sections
@@ -50,9 +57,12 @@ from repro.runtime.checkpoint import (
     Pass1Checkpoint,
     source_fingerprint,
 )
+from repro.runtime.agent import AGENT_KILL_EXIT, NodeAgent
 from repro.runtime.faults import (
     Fault,
     FaultPlan,
+    NetworkFault,
+    NetworkFaultPlan,
     SimulatedCrash,
     TransientIOError,
     WorkerFault,
@@ -70,14 +80,22 @@ from repro.runtime.storage import (
     LOCAL_STORAGE,
     TERMINAL_ERRNOS,
     FaultyStorage,
+    Lease,
+    LeaseFenced,
     LocalStorage,
     Storage,
     StorageFault,
     StorageFull,
+    acquire_lease,
     io_error_kind,
+    load_lease,
+    release_lease,
+    renew_lease,
     terminal_io_error,
+    verify_lease,
 )
 from repro.runtime.supervisor import (
+    LedgerFenced,
     ShardLedger,
     Supervisor,
     SupervisorError,
@@ -86,6 +104,11 @@ from repro.runtime.supervisor import (
     TaskOutcome,
     graceful_interrupts,
 )
+from repro.runtime.transport import (
+    LocalTransport,
+    RemoteTransport,
+    Transport,
+)
 from repro.runtime.validation import (
     VALIDATION_MODES,
     RowValidationError,
@@ -93,6 +116,7 @@ from repro.runtime.validation import (
 )
 
 __all__ = [
+    "AGENT_KILL_EXIT",
     "CheckpointCorrupted",
     "CheckpointError",
     "CheckpointStale",
@@ -103,10 +127,18 @@ __all__ = [
     "FaultPlan",
     "FaultyStorage",
     "LOCAL_STORAGE",
+    "Lease",
+    "LeaseFenced",
+    "LedgerFenced",
     "LocalStorage",
+    "LocalTransport",
     "MemoryBudgetExceeded",
     "MemoryGuard",
+    "NetworkFault",
+    "NetworkFaultPlan",
+    "NodeAgent",
     "Pass1Checkpoint",
+    "RemoteTransport",
     "RowValidationError",
     "RowValidator",
     "ShardLedger",
@@ -121,17 +153,23 @@ __all__ = [
     "Task",
     "TaskOutcome",
     "TransientIOError",
+    "Transport",
     "VALIDATION_MODES",
     "WorkerFault",
     "WorkerFaultPlan",
+    "acquire_lease",
     "count_storage_ops",
     "ensure_disk_space",
     "enumerate_crash_points",
     "estimate_spill_bytes",
     "graceful_interrupts",
     "io_error_kind",
+    "load_lease",
     "mine_with_memory_budget",
+    "release_lease",
+    "renew_lease",
     "retry_io",
     "source_fingerprint",
     "terminal_io_error",
+    "verify_lease",
 ]

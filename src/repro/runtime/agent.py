@@ -1,0 +1,457 @@
+"""The node agent: one remote worker of the distributed runtime.
+
+``python -m repro agent --ledger DIR --port P`` runs one of these
+against the shared coordination directory a
+:class:`repro.runtime.transport.RemoteTransport` coordinator manages.
+The protocol is deliberately storage-only — agents and coordinator
+never open a socket to each other, so "the network" reduces to the
+shared directory (NFS in production, tmpfs in tests) plus the agent's
+read-only HTTP status endpoint:
+
+1. **Claim** — scan ``queue/task-*.json`` for a shard without a
+   committed result, and try to acquire its lease
+   (:func:`repro.runtime.storage.acquire_lease`).  The acquisition
+   bumps the lease's fencing token; losing the race is normal.
+2. **Heartbeat** — a renewer thread extends the lease every
+   ``ttl / 3`` seconds.  A renewal that raises
+   :class:`~repro.runtime.storage.LeaseFenced` means the coordinator
+   (or a successor node) superseded us; the task is abandoned.
+3. **Execute** — import the task function from its ``module:qualname``
+   reference, unpickle the payload, run it.
+4. **Commit** — fence-check the lease one last time, then publish the
+   result with :meth:`~repro.runtime.storage.Storage.
+   create_exclusive_text`: first writer wins, a duplicate delivery
+   (straggler re-dispatch) can only dedup, never clobber.  Task
+   exceptions are committed as error records so the coordinator can
+   count the retry instead of waiting out the lease.
+5. **Register** — every loop iteration rewrites
+   ``nodes/<node_id>.json`` with a liveness beat, the current task and
+   the agent's counters; the coordinator's node table (and the
+   ``/healthz`` node rows) is built from these files.
+
+The agent also serves ``/healthz`` over HTTP (stdlib
+``ThreadingHTTPServer``) for humans and probes; the mining protocol
+never depends on it.
+
+Network faults (:class:`repro.runtime.faults.NetworkFaultPlan`, read
+from ``netfaults.json``) are acted out here, keyed by task id and
+lease token — a hard ``os._exit`` on claim (node kill), a renewal
+blackout followed by a late fence-checked commit (partition-then-heal),
+a lost commit (drop), a blind late commit (straggler duplicate
+delivery), or a double commit (duplicate).  See
+``NETWORK_FAULT_MODES`` for the exact semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.faults import NetworkFault, NetworkFaultPlan
+from repro.runtime.storage import (
+    LOCAL_STORAGE,
+    Lease,
+    LeaseFenced,
+    acquire_lease,
+    release_lease,
+    renew_lease,
+    verify_lease,
+)
+from repro.runtime.transport import (
+    NETFAULTS_NAME,
+    NODES_DIR,
+    QUEUE_DIR,
+    lease_path,
+    result_path,
+)
+
+#: Exit code of an injected node kill (never used by a real failure).
+AGENT_KILL_EXIT = 29
+
+
+def resolve_function(ref: str) -> Callable:
+    """Import a task function from its ``module:qualname`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed function reference {ref!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise TypeError(f"function reference {ref!r} is not callable")
+    return obj
+
+
+class NodeAgent:
+    """One polling worker node against a shared coordination directory.
+
+    Parameters
+    ----------
+    ledger_dir:
+        The coordinator's shared directory (``--ledger`` of the mining
+        run).
+    node_id:
+        Stable identity used as lease owner and registration key;
+        defaults to ``agent-<hostname>-<pid>``.
+    port:
+        HTTP status port (``0`` = ephemeral).
+    poll_interval:
+        Seconds between queue scans while idle.
+    lease_ttl:
+        Lease lifetime requested on claims; renewed at ``ttl / 3``.
+    max_idle:
+        Exit after this many idle seconds (``None`` = serve forever) —
+        lets CI agents terminate once the queue stays empty.
+    storage:
+        Durable-I/O backend for leases and results (tests inject a
+        :class:`~repro.runtime.storage.FaultyStorage` here).
+    """
+
+    def __init__(
+        self,
+        ledger_dir: str,
+        *,
+        node_id: Optional[str] = None,
+        port: int = 0,
+        poll_interval: float = 0.1,
+        lease_ttl: float = 2.0,
+        max_idle: Optional[float] = None,
+        storage=None,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.ledger_dir = ledger_dir
+        self.node_id = node_id or (
+            f"agent-{os.uname().nodename if hasattr(os, 'uname') else 'host'}"
+            f"-{os.getpid()}"
+        )
+        self.port = port
+        self.poll_interval = poll_interval
+        self.lease_ttl = lease_ttl
+        self.max_idle = max_idle
+        self.storage = storage if storage is not None else LOCAL_STORAGE
+        self.started_at = time.time()
+        self.stats: Dict[str, int] = {
+            "tasks_completed": 0,
+            "leases_acquired": 0,
+            "duplicates_suppressed": 0,
+            "task_errors": 0,
+        }
+        self.current_task: Optional[str] = None
+        self._stop = threading.Event()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._fn_cache: Dict[str, Callable] = {}
+
+    # -- HTTP status ---------------------------------------------------
+
+    @property
+    def url(self) -> Optional[str]:
+        if self._server is None:
+            return None
+        return f"http://127.0.0.1:{self._server.server_address[1]}"
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "pid": os.getpid(),
+            "busy": self.current_task is not None,
+            "task": self.current_task,
+            "stats": dict(self.stats),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def start_http(self) -> None:
+        agent = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?")[0] != "/healthz":
+                    self.send_error(404, "unknown path")
+                    return
+                body = json.dumps(agent.health()).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # quiet
+                pass
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", self.port), Handler)
+        self._server.daemon_threads = True
+        threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-agent-http-{self.node_id}",
+            daemon=True,
+        ).start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+
+    # -- registration --------------------------------------------------
+
+    def _register(self) -> None:
+        """Rewrite this node's liveness record (best-effort, no fsync —
+        a stale beat is indistinguishable from a dead node anyway)."""
+        nodes_dir = os.path.join(self.ledger_dir, NODES_DIR)
+        path = os.path.join(nodes_dir, f"{self.node_id}.json")
+        record = {
+            "node_id": self.node_id,
+            "pid": os.getpid(),
+            "url": self.url,
+            "beat": time.time(),
+            "task": self.current_task,
+            "stats": dict(self.stats),
+        }
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            os.makedirs(nodes_dir, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    # -- fault plan ----------------------------------------------------
+
+    def _load_fault_plan(self) -> Optional[NetworkFaultPlan]:
+        path = os.path.join(self.ledger_dir, NETFAULTS_NAME)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return NetworkFaultPlan.from_json(json.load(handle))
+        except (OSError, ValueError, KeyError):
+            return None
+
+    # -- the work loop -------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Poll, claim, execute and commit until stopped (or idle out)."""
+        if self._server is None:
+            self.start_http()
+        idle_since = time.monotonic()
+        self._register()
+        while not self._stop.is_set():
+            try:
+                worked = self._poll_once()
+            except OSError:
+                # The coordinator may be (re)creating the run's scratch
+                # dirs under us; treat it as an idle scan.
+                worked = False
+            self._register()
+            if worked:
+                idle_since = time.monotonic()
+                continue
+            if (
+                self.max_idle is not None
+                and time.monotonic() - idle_since > self.max_idle
+            ):
+                break
+            self._stop.wait(self.poll_interval)
+
+    def _poll_once(self) -> bool:
+        """One queue scan; True when a task was claimed and handled."""
+        queue_dir = os.path.join(self.ledger_dir, QUEUE_DIR)
+        try:
+            entries = sorted(os.listdir(queue_dir))
+        except OSError:
+            return False
+        for entry in entries:
+            if not (entry.startswith("task-") and entry.endswith(".json")):
+                continue
+            try:
+                with open(
+                    os.path.join(queue_dir, entry), encoding="utf-8"
+                ) as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            task_id = record.get("task_id")
+            if not task_id:
+                continue
+            if self.storage.exists(result_path(self.ledger_dir, task_id)):
+                continue
+            lease = acquire_lease(
+                self.storage,
+                lease_path(self.ledger_dir, task_id),
+                owner=self.node_id,
+                ttl=self.lease_ttl,
+            )
+            if lease is None:
+                continue
+            self.stats["leases_acquired"] += 1
+            self._run_task(record, lease)
+            return True
+        return False
+
+    def _run_task(self, record: Dict[str, Any], lease: Lease) -> None:
+        import base64
+        import pickle
+
+        task_id = str(record["task_id"])
+        self.current_task = task_id
+        self._register()
+        plan = self._load_fault_plan()
+        fault: Optional[NetworkFault] = (
+            plan.match(task_id, lease.token) if plan is not None else None
+        )
+        mode = fault.mode if fault is not None else None
+        if mode == "kill":
+            os._exit(AGENT_KILL_EXIT)
+
+        path = lease_path(self.ledger_dir, task_id)
+        fenced = threading.Event()
+        renew_stop = threading.Event()
+        lease_box = {"lease": lease}
+
+        def renew_loop() -> None:
+            while not renew_stop.wait(self.lease_ttl / 3.0):
+                try:
+                    lease_box["lease"] = renew_lease(
+                        self.storage, path, lease_box["lease"], self.lease_ttl
+                    )
+                except LeaseFenced:
+                    fenced.set()
+                    return
+                except OSError:
+                    continue  # transient; the next tick retries
+
+        renewer = threading.Thread(
+            target=renew_loop,
+            name=f"repro-agent-renew-{self.node_id}",
+            daemon=True,
+        )
+        renewer.start()
+
+        error: Optional[str] = None
+        result: Any = None
+        try:
+            fn = self._fn_cache.get(record["fn"])
+            if fn is None:
+                fn = resolve_function(str(record["fn"]))
+                self._fn_cache[str(record["fn"])] = fn
+            payload = pickle.loads(base64.b64decode(record["payload"]))
+            result = fn(payload)
+        except Exception as exc:  # committed as an error record
+            error = f"{type(exc).__name__}: {exc}"
+            self.stats["task_errors"] += 1
+
+        # The fault window: from here on the node misbehaves on purpose.
+        renew_stop.set()
+        renewer.join(timeout=5.0)
+        try:
+            if mode == "drop":
+                # The commit message is lost.  The lease is neither
+                # renewed nor released, so the coordinator sees it
+                # expire and re-dispatches the shard.
+                return
+            if mode in ("partition", "delay"):
+                window = fault.seconds if fault.seconds > 0 else (
+                    2.5 * self.lease_ttl if mode == "partition"
+                    else 2.0 * self.lease_ttl
+                )
+                time.sleep(window)
+
+            committed = lease_box["lease"]
+            if fenced.is_set():
+                self.stats["duplicates_suppressed"] += 1
+                return
+            if mode != "delay":
+                # Load-before-write: stand down if re-dispatched.  The
+                # "delay" straggler skips this on purpose — it models a
+                # node that cannot see the current lease state and
+                # commits blind, exercising first-writer-wins dedup.
+                try:
+                    verify_lease(self.storage, path, committed)
+                except LeaseFenced:
+                    self.stats["duplicates_suppressed"] += 1
+                    return
+            document = {
+                "task_id": task_id,
+                "owner": self.node_id,
+                "token": committed.token,
+            }
+            if error is not None:
+                document["error"] = error
+            else:
+                document["result"] = result
+            text = json.dumps(document)
+            target = result_path(self.ledger_dir, task_id)
+            won = self.storage.create_exclusive_text(target, text)
+            if not won:
+                self.stats["duplicates_suppressed"] += 1
+            if mode == "duplicate":
+                # Deliver the commit twice; the second copy must dedup.
+                if not self.storage.create_exclusive_text(target, text):
+                    self.stats["duplicates_suppressed"] += 1
+            if won and error is None:
+                self.stats["tasks_completed"] += 1
+            release_lease(self.storage, path, committed)
+        finally:
+            self.current_task = None
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro agent``."""
+    parser = argparse.ArgumentParser(
+        prog="repro agent",
+        description=(
+            "Run one distributed mining node against a shared ledger "
+            "directory (see RemoteTransport)."
+        ),
+    )
+    parser.add_argument(
+        "--ledger", required=True,
+        help="shared coordination directory of the mining run",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP status port (default: ephemeral)",
+    )
+    parser.add_argument(
+        "--node-id", default=None,
+        help="stable node identity (default: agent-<host>-<pid>)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.1,
+        help="idle queue-scan interval in seconds",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=2.0,
+        help="task lease lifetime in seconds",
+    )
+    parser.add_argument(
+        "--max-idle", type=float, default=None,
+        help="exit after this many idle seconds (default: serve forever)",
+    )
+    args = parser.parse_args(argv)
+    agent = NodeAgent(
+        args.ledger,
+        node_id=args.node_id,
+        port=args.port,
+        poll_interval=args.poll,
+        lease_ttl=args.lease_ttl,
+        max_idle=args.max_idle,
+    )
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()
+    return 0

@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import errno
 import hashlib
+import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -99,8 +101,9 @@ class Storage:
     for exotic backends, the primitives themselves).
 
     Operation names seen by :meth:`_before`: ``open-read``,
-    ``open-write``, ``fsync``, ``fsync-dir``, ``replace``, ``remove``,
-    ``makedirs``, ``rmtree``, ``sha256``.  Metadata reads (``exists``,
+    ``open-write``, ``fsync``, ``fsync-dir``, ``replace``, ``link``,
+    ``remove``, ``makedirs``, ``rmtree``, ``sha256``.  Metadata reads
+    (``exists``,
     ``getsize``, ``disk_usage``) are not counted — they cannot change
     the on-disk state, so a crash before one is indistinguishable from
     a crash before the next mutating operation.
@@ -156,6 +159,26 @@ class Storage:
         self._before("replace", dst)
         os.replace(src, dst)
         self.fsync_dir(os.path.dirname(os.path.abspath(dst)))
+
+    def link(self, src: str, dst: str) -> bool:
+        """Hard-link ``src`` to ``dst`` — the create-*exclusive* rename.
+
+        Unlike :meth:`replace`, a link never overwrites: if ``dst``
+        already exists the call returns ``False`` and the filesystem is
+        untouched.  This is the first-writer-wins primitive the
+        distributed result commit is built on — two nodes racing to
+        publish the same deterministic shard result cannot clobber each
+        other; exactly one link lands and the loser observes the dedup.
+        The parent directory is fsynced after a winning link so the new
+        name survives power loss.
+        """
+        self._before("link", dst)
+        try:
+            os.link(src, dst)
+        except FileExistsError:
+            return False
+        self.fsync_dir(os.path.dirname(os.path.abspath(dst)))
+        return True
 
     def remove(self, path: str, missing_ok: bool = True) -> None:
         """Delete a file; a missing one is fine by default."""
@@ -225,6 +248,38 @@ class Storage:
             except OSError:
                 pass
             raise
+
+    def create_exclusive_text(self, path: str, text: str) -> bool:
+        """Durably publish ``path`` only if nobody else has yet.
+
+        Write to a writer-unique temp file, fsync it, then hard-link it
+        to ``path``: the link either lands (True — this writer won) or
+        hits an existing ``path`` (False — another writer already
+        published; ours is discarded untouched).  Either way the temp
+        file is cleaned up.  The existing ``path`` is **never**
+        modified — that immutability is what makes duplicate result
+        delivery from re-dispatched shard nodes safe to dedup.
+        """
+        tmp_path = f"{path}.tmp-{os.getpid()}-{id(self) & 0xFFFF:04x}"
+        try:
+            handle = self.open(tmp_path, "w", encoding="utf-8")
+            try:
+                handle.write(text)
+                self.fsync(handle)
+            finally:
+                handle.close()
+            won = self.link(tmp_path, path)
+        except OSError:
+            try:
+                os.remove(tmp_path)  # raw: best-effort, never counted
+            except OSError:
+                pass
+            raise
+        try:
+            os.remove(tmp_path)  # raw: best-effort, never counted
+        except OSError:
+            pass
+        return won
 
 
 class LocalStorage(Storage):
@@ -338,3 +393,212 @@ class FaultyStorage(LocalStorage):
             f"FaultyStorage(ops={self.op_count}, crash_at={self.crash_at}, "
             f"faults={len(self.faults)})"
         )
+
+
+# ----------------------------------------------------------------------
+# Leases with monotonic fencing tokens
+# ----------------------------------------------------------------------
+#
+# The distributed transport coordinates nodes through shared storage,
+# and shared storage has the classic split-brain problem: a node that
+# pauses (GC, swap, network partition) past its lease and then comes
+# back must not act on a lease somebody else now holds.  Expiry alone
+# cannot prevent that — clocks skew, and the returning node's "am I
+# still the holder?" check races with its own write.  The standard fix
+# (Lamport; popularised as "fencing tokens") is a counter that
+# increments on every acquisition: writes carry the token they were
+# issued under, and any observer holding a newer token makes the old
+# write detectably stale.  Here the lease file *is* the authority —
+# :func:`verify_lease` re-reads it and raises :class:`LeaseFenced` on
+# any owner/token mismatch — and the result commit itself goes through
+# :meth:`Storage.create_exclusive_text`, so even an unfenced zombie
+# write can only ever dedup against the winner, never clobber it.
+
+
+class LeaseFenced(RuntimeError):
+    """A fencing check failed: another owner superseded this lease.
+
+    Raised by :func:`verify_lease` / :func:`renew_lease` when the lease
+    file on disk no longer carries the caller's owner id and token —
+    i.e. the lease expired and was re-acquired (straggler re-dispatch),
+    or a second coordinator took over (:class:`~repro.runtime.
+    supervisor.LedgerFenced` wraps this for the shard ledger).  The
+    holder must stop acting on the leased resource immediately.
+    """
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One acquired lease: who holds ``key``, under which fencing token.
+
+    ``token`` increases by one on *every* acquisition of the same lease
+    file — including steals and post-expiry re-acquisitions — which is
+    what makes it a fencing token: a holder can prove staleness by
+    comparison, without synchronised clocks.  ``expires_at`` is a
+    wall-clock deadline (the only cross-host clock we have); ``None``
+    means the lease never expires and changes hands only by steal.
+    """
+
+    key: str
+    owner: str
+    token: int
+    expires_at: Optional[float]
+    acquired_at: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the expiry deadline has passed (never for
+        ``expires_at=None`` leases)."""
+        if self.expires_at is None:
+            return False
+        return (time.time() if now is None else now) > self.expires_at
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "owner": self.owner,
+            "token": self.token,
+            "expires_at": self.expires_at,
+            "acquired_at": self.acquired_at,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "Lease":
+        return cls(
+            key=str(record["key"]),
+            owner=str(record["owner"]),
+            token=int(record["token"]),
+            expires_at=(
+                None
+                if record.get("expires_at") is None
+                else float(record["expires_at"])  # type: ignore[arg-type]
+            ),
+            acquired_at=float(record.get("acquired_at", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def load_lease(storage: Storage, path: str) -> Optional[Lease]:
+    """Read the lease at ``path``; ``None`` when absent or torn.
+
+    A torn/garbage lease file is treated as no lease at all — the
+    atomic-write discipline makes that state unreachable from this
+    module's own writers, so garbage means an external scribble and
+    the safe reading is "up for grabs" (the next acquire bumps past
+    whatever token it carried anyway, because the acquirer re-reads
+    after writing).
+    """
+    if not storage.exists(path):
+        return None
+    try:
+        with storage.open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        return Lease.from_record(record)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def acquire_lease(
+    storage: Storage,
+    path: str,
+    owner: str,
+    ttl: Optional[float] = None,
+    steal: bool = False,
+    now: Optional[float] = None,
+) -> Optional[Lease]:
+    """Try to acquire the lease at ``path`` for ``owner``.
+
+    Succeeds when the lease is absent, expired, already ours, or
+    ``steal=True`` (unconditional takeover — the dual-coordinator
+    ledger handoff).  The new token is always ``previous + 1``, so a
+    fenced-out holder can never be confused with the current one.
+    Returns the acquired :class:`Lease`, or ``None`` when a live lease
+    belongs to someone else (or we lost the acquisition race — the
+    write is re-read afterwards, and only the writer whose record
+    survived owns the lease).
+    """
+    wall = time.time() if now is None else now
+    current = load_lease(storage, path)
+    if (
+        current is not None
+        and not steal
+        and current.owner != owner
+        and not current.expired(wall)
+    ):
+        return None
+    claim = Lease(
+        key=os.path.basename(path),
+        owner=owner,
+        token=(current.token if current is not None else 0) + 1,
+        expires_at=None if ttl is None else wall + ttl,
+        acquired_at=wall,
+    )
+    storage.atomic_write_text(path, json.dumps(claim.to_record()))
+    # Re-read: under a racing acquire the last atomic_write_text wins,
+    # so whoever's record survived is the real holder.
+    settled = load_lease(storage, path)
+    if settled is None or settled.owner != owner or settled.token != claim.token:
+        return None
+    return settled
+
+
+def verify_lease(storage: Storage, path: str, lease: Lease) -> Lease:
+    """Re-read ``path`` and fence-check it against ``lease``.
+
+    Returns the on-disk lease when owner *and* token still match;
+    raises :class:`LeaseFenced` otherwise.  This is the check every
+    holder runs before acting on the leased resource — a partitioned
+    node that comes back after re-dispatch fails it and stands down.
+    """
+    current = load_lease(storage, path)
+    if current is None:
+        raise LeaseFenced(
+            f"lease {lease.key!r} held by {lease.owner!r} "
+            f"(token {lease.token}) no longer exists"
+        )
+    if current.owner != lease.owner or current.token != lease.token:
+        raise LeaseFenced(
+            f"lease {lease.key!r}: {lease.owner!r} (token {lease.token}) "
+            f"superseded by {current.owner!r} (token {current.token})"
+        )
+    return current
+
+
+def renew_lease(
+    storage: Storage,
+    path: str,
+    lease: Lease,
+    ttl: float,
+    now: Optional[float] = None,
+) -> Lease:
+    """Extend a held lease's expiry without changing its token.
+
+    Fence-checks first (:class:`LeaseFenced` when superseded), then
+    rewrites the lease with a fresh deadline.  Called from the holder's
+    heartbeat loop; a renewal that raises tells the holder it was
+    re-dispatched and must abandon the task.
+    """
+    verify_lease(storage, path, lease)
+    wall = time.time() if now is None else now
+    renewed = Lease(
+        key=lease.key,
+        owner=lease.owner,
+        token=lease.token,
+        expires_at=wall + ttl,
+        acquired_at=lease.acquired_at,
+    )
+    storage.atomic_write_text(path, json.dumps(renewed.to_record()))
+    return renewed
+
+
+def release_lease(storage: Storage, path: str, lease: Lease) -> bool:
+    """Remove a held lease; False (not an error) when already fenced.
+
+    Only the current holder may release — a fenced-out holder's release
+    must not delete the new holder's lease, so a failed fence check
+    just reports False.
+    """
+    try:
+        verify_lease(storage, path, lease)
+    except LeaseFenced:
+        return False
+    storage.remove(path)
+    return True

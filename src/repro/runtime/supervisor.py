@@ -38,15 +38,24 @@ not inherit the parent's installed :class:`~repro.runtime.faults.
 FaultPlan` — which is what makes crash/hang/corrupt recovery testable
 deterministically.  The supervisor process itself trips the
 ``"ledger.save"`` site on every ledger write.
+
+Since PR 6, *where* tasks execute is pluggable: the supervisor holds
+the policy (retries, validation, quarantine, ledger), and a
+:class:`repro.runtime.transport.Transport` holds the mechanics.  The
+spawn pool above lives in :class:`~repro.runtime.transport.
+LocalTransport` (the default); :class:`~repro.runtime.transport.
+RemoteTransport` runs the same tasks on node agents over shared
+storage with lease fencing.  The pool internals (``_worker_loop``,
+``_WorkerHandle``, ...) are re-exported here for back-compat.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
 import signal
 import threading
 import time
+import uuid
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -57,21 +66,45 @@ from repro.runtime.faults import WorkerFaultPlan
 from repro.runtime.guards import retry_io
 from repro.runtime.storage import (
     LOCAL_STORAGE,
+    LeaseFenced,
+    acquire_lease,
     io_error_kind,
     terminal_io_error,
+    verify_lease,
 )
-
-#: Exit code a worker uses for an injected hard crash (never a real one).
-WORKER_CRASH_EXIT = 23
+from repro.runtime.transport import (  # noqa: F401  (re-exported)
+    WORKER_CRASH_EXIT,
+    LocalTransport,
+    Transport,
+    _corrupt_result,
+    _mp_available,
+    _worker_loop,
+    _WorkerHandle,
+)
 
 #: Bump when the ledger manifest schema changes; older ledgers are stale.
 LEDGER_VERSION = 1
 
 _LEDGER_NAME = "ledger.json"
 
+_OWNER_NAME = "owner.json"
+
 
 class SupervisorError(RuntimeError):
     """A task failed even in the serial quarantine re-run."""
+
+
+class LedgerFenced(LeaseFenced):
+    """A stale coordinator wrote to a ledger another process now owns.
+
+    Two supervisors pointed at the same ``ledger_dir`` used to
+    silently interleave atomic-rename writes — each one durable, the
+    union of both meaningless.  The ledger now holds an owner lease
+    (``owner.json``, fencing token bumped on every takeover); the
+    *newest* :class:`ShardLedger` instance owns the directory, and any
+    older instance's next write fails with this error instead of
+    corrupting the resume state.
+    """
 
 
 @dataclass(frozen=True)
@@ -106,7 +139,8 @@ class SupervisorReport:
     worker_restarts: int = 0
     task_retries: int = 0
     tasks_quarantined: int = 0
-    #: ``"pool"`` (spawn workers) or ``"serial"`` (in-process).
+    #: ``"pool"`` (spawn workers), ``"remote"`` (node agents) or
+    #: ``"serial"`` (in-process) — a custom transport reports its name.
     mode: str = "serial"
     #: True when the pool died faster than it completed work and the
     #: remaining tasks were finished in-process instead.
@@ -115,6 +149,19 @@ class SupervisorReport:
     #: switched the shard ledger off mid-run; results stay exact but
     #: partition-level resume is lost for this run.
     ledger_disabled: bool = False
+    #: Remote transport: task leases that expired before their node
+    #: renewed them (first rung of the node-loss ladder).
+    lease_expiries: int = 0
+    #: Remote transport: shards handed to another live node after a
+    #: lease expiry (second rung).
+    node_redispatches: int = 0
+    #: Remote transport: duplicate result deliveries suppressed by the
+    #: fence check or the first-writer-wins exclusive commit.
+    node_results_deduped: int = 0
+    #: Degradation-ladder steps taken (``"node-serial-fallback"``,
+    #: ``"node-quarantine"``, ...); folded into
+    #: :attr:`repro.core.stats.PipelineStats.degradations`.
+    degradations: List[str] = field(default_factory=list)
 
     def results(self, tasks: Sequence[Task]) -> List[Any]:
         """The task results in the order of ``tasks``."""
@@ -174,6 +221,14 @@ class ShardLedger:
 
     Results must be JSON-serializable; callers that need richer shapes
     pass ``decode=`` to :class:`Supervisor` to rebuild them on resume.
+
+    Construction takes ownership of the directory: an owner lease
+    (``owner.json``) is acquired with a bumped fencing token, and every
+    subsequent write by an *older* instance — a dual coordinator, or a
+    supervisor that was presumed dead and replaced — raises
+    :class:`LedgerFenced` instead of interleaving manifests.  The owner
+    lease has no expiry; ownership changes hands only by this explicit
+    takeover.
     """
 
     def __init__(
@@ -193,10 +248,35 @@ class ShardLedger:
         self.io_retries = 0
         self._results: Dict[str, Any] = {}
         self.storage.makedirs(directory)
+        self.owner_id = f"ledger-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._owner_lease = acquire_lease(
+            self.storage, self.owner_path, owner=self.owner_id,
+            ttl=None, steal=True,
+        )
+        if self._owner_lease is None:  # lost a takeover race outright
+            raise LedgerFenced(
+                f"could not take ownership of ledger dir {directory!r}"
+            )
 
     @property
     def path(self) -> str:
         return os.path.join(self.directory, _LEDGER_NAME)
+
+    @property
+    def owner_path(self) -> str:
+        return os.path.join(self.directory, _OWNER_NAME)
+
+    def _check_owner(self) -> None:
+        """Raise :class:`LedgerFenced` when this instance was superseded."""
+        try:
+            verify_lease(self.storage, self.owner_path, self._owner_lease)
+        except LedgerFenced:
+            raise
+        except LeaseFenced as error:
+            raise LedgerFenced(
+                f"ledger dir {self.directory!r} is owned by another "
+                f"coordinator: {error}"
+            ) from error
 
     def load(self) -> Dict[str, Any]:
         """The recorded results, or ``{}`` on a missing/stale/torn ledger."""
@@ -218,7 +298,13 @@ class ShardLedger:
         return dict(self._results)
 
     def record(self, task_id: str, result: Any) -> None:
-        """Persist one completed task (atomic rewrite of the manifest)."""
+        """Persist one completed task (atomic rewrite of the manifest).
+
+        Load-before-write: the owner lease is re-read and fence-checked
+        first, so a superseded coordinator raises :class:`LedgerFenced`
+        instead of overwriting the current owner's manifest.
+        """
+        self._check_owner()
         self._results[task_id] = result
         retry_io(
             self._write,
@@ -227,7 +313,12 @@ class ShardLedger:
         )
 
     def clear(self) -> None:
-        """Delete the ledger file (the run completed or went stale)."""
+        """Delete the ledger file (the run completed or went stale).
+
+        The owner lease itself stays — ownership ends only when another
+        coordinator takes over, never by finishing a run.
+        """
+        self._check_owner()
         self._results = {}
         for path in (self.path, self.path + ".tmp"):
             self.storage.remove(path, missing_ok=True)
@@ -252,220 +343,6 @@ class ShardLedger:
             "tasks": self._results,
         }
         self.storage.atomic_write_text(self.path, json.dumps(payload))
-
-
-# ----------------------------------------------------------------------
-# Worker side (runs in the spawned process)
-# ----------------------------------------------------------------------
-
-
-def _corrupt_result(result: Any) -> Any:
-    """The injected ``corrupt`` fault: a shape no validator accepts."""
-    return {"__corrupted__": repr(result)[:48]}
-
-
-def _worker_loop(
-    worker_id: int,
-    fn: Callable[[Any], Any],
-    task_queue,
-    result_conn,
-    heartbeat,
-    fault_plan: Optional[WorkerFaultPlan],
-    telemetry: bool = False,
-    flush_interval: float = 0.5,
-) -> None:
-    """Entry point of a spawned worker: serve tasks until told to stop.
-
-    Messages sent over ``result_conn`` are
-    ``(task_id, attempt, status, result)`` with ``status`` in
-    ``{"ok", "error", "telemetry"}``; the attempt number lets the
-    supervisor discard stale results from an assignment it already gave
-    up on.  The pipe has this worker as its only writer —
-    ``Connection.send`` writes directly, with no feeder thread and no
-    lock shared with siblings — so dying mid-send cannot wedge anyone
-    else.  (Within this process the main loop and the telemetry flusher
-    thread do share the pipe, serialized by a local lock.)
-
-    With ``telemetry`` on, each task attempt runs against a fresh
-    :class:`repro.observe.RunObserver` passed to ``fn`` as
-    ``observer=``:
-
-    - every ``flush_interval`` seconds an in-flight snapshot of the
-      attempt's metrics is sent as a non-final ``"telemetry"`` message
-      (the parent folds only its gauges — a live view);
-    - a completed attempt sends one final ``"telemetry"`` message
-      (metrics document plus the observer's span trees) *before* its
-      ``"ok"`` result, so pipe ordering guarantees the parent holds the
-      telemetry by the time it accepts the result.  Counters merge from
-      this final message only, and only for accepted attempts — which
-      is what keeps the merged totals equal to a serial run's even when
-      attempts crash and retry.
-    """
-    send_lock = threading.Lock()
-    stop = threading.Event()
-    #: The in-flight attempt the flusher may snapshot (guarded).
-    inflight = {"observer": None, "task_id": None, "attempt": None}
-    inflight_lock = threading.Lock()
-
-    def send(message) -> None:
-        with send_lock:
-            result_conn.send(message)
-
-    if telemetry:
-
-        def flush_loop() -> None:
-            while not stop.wait(flush_interval):
-                with inflight_lock:
-                    observer = inflight["observer"]
-                    task_id = inflight["task_id"]
-                    attempt = inflight["attempt"]
-                if observer is None:
-                    continue
-                observer.flush()
-                payload = {
-                    "task_id": task_id,
-                    "attempt": attempt,
-                    "worker_id": worker_id,
-                    "final": False,
-                    "metrics": observer.metrics.to_dict(),
-                }
-                try:
-                    send((task_id, attempt, "telemetry", payload))
-                except (BrokenPipeError, OSError):
-                    return
-
-        threading.Thread(
-            target=flush_loop,
-            name=f"repro-telemetry-flush-{worker_id}",
-            daemon=True,
-        ).start()
-
-    while True:
-        item = task_queue.get()
-        if item is None:
-            stop.set()
-            return
-        task_id, attempt, payload = item
-        heartbeat.value = time.time()
-        mode = (
-            fault_plan.match(task_id, attempt)
-            if fault_plan is not None
-            else None
-        )
-        if mode == "crash":
-            os._exit(WORKER_CRASH_EXIT)
-        if mode == "hang":
-            while True:  # hold the task forever; only a kill ends this
-                time.sleep(3600)
-        observer = None
-        if telemetry:
-            from repro.observe import RunObserver
-
-            observer = RunObserver()
-            with inflight_lock:
-                inflight["observer"] = observer
-                inflight["task_id"] = task_id
-                inflight["attempt"] = attempt
-        started = time.perf_counter()
-        try:
-            if observer is not None:
-                result = fn(payload, observer=observer)
-            else:
-                result = fn(payload)
-            if mode == "corrupt":
-                result = _corrupt_result(result)
-            message = (task_id, attempt, "ok", result)
-        except BaseException as error:  # report, keep serving
-            message = (
-                task_id, attempt, "error",
-                f"{type(error).__name__}: {error}",
-            )
-        if observer is not None:
-            with inflight_lock:
-                inflight["observer"] = None
-            if message[2] == "ok":
-                observer.flush()
-                telemetry_payload = {
-                    "task_id": task_id,
-                    "attempt": attempt,
-                    "worker_id": worker_id,
-                    "final": True,
-                    "seconds": time.perf_counter() - started,
-                    "metrics": observer.metrics.to_dict(),
-                    "spans": [
-                        span.to_dict() for span in observer.tracer.spans
-                    ],
-                }
-                try:
-                    send((task_id, attempt, "telemetry", telemetry_payload))
-                except (BrokenPipeError, OSError):
-                    return
-        try:
-            send(message)
-        except (BrokenPipeError, OSError):
-            return  # supervisor gave up on us; nothing left to serve
-        heartbeat.value = time.time()
-
-
-class _WorkerHandle:
-    """Supervisor-side state of one spawned worker."""
-
-    __slots__ = (
-        "worker_id", "process", "task_queue", "conn", "heartbeat",
-        "task", "attempt", "assigned_at",
-    )
-
-    def __init__(
-        self, worker_id, process, task_queue, conn, heartbeat
-    ) -> None:
-        self.worker_id = worker_id
-        self.process = process
-        self.task_queue = task_queue
-        self.conn = conn
-        self.heartbeat = heartbeat
-        self.task: Optional[Task] = None
-        self.attempt = 0
-        self.assigned_at = 0.0
-
-    @property
-    def busy(self) -> bool:
-        return self.task is not None
-
-    def hung(self, now: float, timeout: Optional[float]) -> bool:
-        """True when the current task outlived ``timeout``.
-
-        The clock starts at the worker's last heartbeat — the moment it
-        picked the task up — so slow spawn-time imports never count
-        against the task.  Before the first heartbeat of this
-        assignment the worker is still starting; liveness is covered by
-        the ``is_alive`` check instead.
-        """
-        if timeout is None or self.task is None:
-            return False
-        picked_up = self.heartbeat.value
-        if picked_up < self.assigned_at:
-            return False
-        return now - picked_up > timeout
-
-
-# ----------------------------------------------------------------------
-# Supervisor
-# ----------------------------------------------------------------------
-
-
-def _mp_available() -> bool:
-    """Whether spawn-context multiprocessing is usable here.
-
-    Split out (and intentionally tiny) so tests and exotic platforms
-    can force the in-process degradation path.
-    """
-    try:
-        import multiprocessing
-
-        multiprocessing.get_context("spawn")
-    except (ImportError, ValueError):
-        return False
-    return True
 
 
 class Supervisor:
@@ -518,6 +395,18 @@ class Supervisor:
     backoff_base / poll_interval:
         Retry backoff seed (doubles per failure) and the result-queue
         poll granularity.
+    transport:
+        Where tasks execute: any :class:`~repro.runtime.transport.
+        Transport`.  ``None`` means the default
+        :class:`~repro.runtime.transport.LocalTransport` (the spawn
+        pool); :class:`~repro.runtime.transport.RemoteTransport` runs
+        the same tasks on node agents over shared storage.  A transport
+        whose :meth:`~repro.runtime.transport.Transport.usable` check
+        declines (e.g. one worker, one task, no multiprocessing) falls
+        back to in-process serial execution, and any task a transport
+        leaves without an outcome is finished in-process afterwards —
+        the bottom of every degradation ladder is the same serial code
+        path.
     """
 
     def __init__(
@@ -536,6 +425,7 @@ class Supervisor:
         telemetry_flush_interval: float = 0.5,
         backoff_base: float = 0.05,
         poll_interval: float = 0.02,
+        transport: Optional[Transport] = None,
     ) -> None:
         from repro.observe.progress import NULL_OBSERVER
 
@@ -558,6 +448,7 @@ class Supervisor:
         self.telemetry_flush_interval = telemetry_flush_interval
         self.backoff_base = backoff_base
         self.poll_interval = poll_interval
+        self.transport = transport if transport is not None else LocalTransport()
         self._next_worker_id = 0
 
     # ------------------------------------------------------------------
@@ -594,16 +485,13 @@ class Supervisor:
                 pending.append(task)
 
         if pending:
-            use_pool = (
-                self.n_workers > 1 and len(pending) > 1 and _mp_available()
-            )
-            if use_pool:
-                report.mode = "pool"
+            if self.transport.usable(len(pending), self.n_workers):
+                report.mode = self.transport.name
                 with graceful_interrupts():
-                    self._run_pool(pending, report)
-                # A pool declared broken (workers dying faster than they
-                # complete work — e.g. spawn itself is unusable) leaves
-                # tasks unfinished; finish them in-process.
+                    self.transport.run_tasks(self, pending, report)
+                # A transport that gave up (pool declared broken, every
+                # remote node gone) leaves tasks unfinished; finish
+                # them in-process — the universal bottom rung.
                 for task in pending:
                     if task.task_id not in report.outcomes:
                         self._run_serial(task, report, quarantined=False)
@@ -697,259 +585,6 @@ class Supervisor:
             self._complete(task, result, attempt, seconds, report,
                            quarantined=quarantined)
             return
-
-    # ------------------------------------------------------------------
-    # Pool execution
-    # ------------------------------------------------------------------
-
-    def _run_pool(self, pending: Sequence[Task], report: SupervisorReport):
-        import multiprocessing
-        from multiprocessing import connection as mp_connection
-
-        ctx = multiprocessing.get_context("spawn")
-        workers: List[_WorkerHandle] = []
-        #: (eligible_at, tiebreak, task) — retry backoff lives here.
-        ready: List = []
-        failures: Dict[str, int] = {}
-        attempts: Dict[str, int] = {}
-        started_at: Dict[str, float] = {}
-        quarantine: List[Task] = []
-        #: Final telemetry payloads awaiting their attempt's acceptance.
-        telemetry_buffer: Dict = {}
-        last_heartbeat_notify = 0.0
-        target = len(pending)
-        #: Consecutive worker deaths with no task completing in between;
-        #: past the budget the pool is declared broken and the caller
-        #: finishes the leftovers in-process.
-        deaths_without_progress = 0
-        death_budget = max(
-            6, 2 * (self.task_retries + 1), 2 * self.n_workers + 2
-        )
-
-        for sequence, task in enumerate(pending):
-            heapq.heappush(ready, (0.0, sequence, task))
-        tiebreak = len(pending)
-
-        def spawn_worker() -> _WorkerHandle:
-            worker_id = self._next_worker_id
-            self._next_worker_id += 1
-            task_queue = ctx.Queue()
-            recv_conn, send_conn = ctx.Pipe(duplex=False)
-            heartbeat = ctx.Value("d", 0.0)
-            process = ctx.Process(
-                target=_worker_loop,
-                args=(
-                    worker_id, self.fn, task_queue, send_conn,
-                    heartbeat, self.worker_faults,
-                    self.worker_telemetry, self.telemetry_flush_interval,
-                ),
-                daemon=True,
-            )
-            process.start()
-            # Drop the parent's copy of the write end so a dead worker
-            # reads as EOF instead of an open-forever pipe.
-            send_conn.close()
-            handle = _WorkerHandle(
-                worker_id, process, task_queue, recv_conn, heartbeat
-            )
-            workers.append(handle)
-            return handle
-
-        def fail(handle: Optional[_WorkerHandle], task: Task, reason: str):
-            nonlocal tiebreak
-            # A failed attempt's telemetry must never merge.
-            telemetry_buffer.pop(
-                (task.task_id, attempts.get(task.task_id)), None
-            )
-            count = failures.get(task.task_id, 0) + 1
-            failures[task.task_id] = count
-            if count > self.task_retries:
-                quarantine.append(task)
-                report.tasks_quarantined += 1
-                self._notify("on_task_quarantined", task.task_id)
-            else:
-                report.task_retries += 1
-                self._notify("on_task_retry", task.task_id, reason)
-                delay = self.backoff_base * (2 ** (count - 1))
-                heapq.heappush(
-                    ready, (time.time() + delay, tiebreak, task)
-                )
-                tiebreak += 1
-            if handle is not None:
-                handle.task = None
-
-        def respawn(handle: _WorkerHandle, reason: str) -> None:
-            nonlocal deaths_without_progress
-            deaths_without_progress += 1
-            if handle.process.is_alive():
-                handle.process.terminate()
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # terminate ignored; escalate
-                handle.process.kill()
-                handle.process.join(timeout=5.0)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
-            workers.remove(handle)
-            report.worker_restarts += 1
-            self._notify("on_worker_restart", handle.worker_id, reason)
-            spawn_worker()
-
-        try:
-            for _ in range(min(self.n_workers, len(pending))):
-                spawn_worker()
-
-            while True:
-                settled = sum(
-                    1 for t in pending if t.task_id in report.outcomes
-                ) + len(quarantine)
-                if settled >= target:
-                    break
-                if deaths_without_progress > death_budget:
-                    report.pool_broken = True
-                    break
-                now = time.time()
-                # 1. Hand ready tasks to idle workers.
-                for handle in workers:
-                    if not ready or handle.busy:
-                        continue
-                    if not handle.process.is_alive():
-                        continue  # picked up by the liveness sweep below
-                    eligible_at, _, task = ready[0]
-                    if eligible_at > now:
-                        continue
-                    heapq.heappop(ready)
-                    attempt = attempts.get(task.task_id, 0) + 1
-                    attempts[task.task_id] = attempt
-                    handle.task = task
-                    handle.attempt = attempt
-                    handle.assigned_at = now
-                    started_at[task.task_id] = now
-                    handle.task_queue.put(
-                        (task.task_id, attempt, task.payload)
-                    )
-
-                # 2. Drain ready results (or time out and sweep).  Each
-                #    pipe has exactly one writer, so a crashed worker
-                #    can only break its own channel — read as EOF here
-                #    and handled by the liveness sweep.
-                readable = mp_connection.wait(
-                    [w.conn for w in workers], timeout=self.poll_interval
-                )
-                for conn in readable:
-                    handle = next(
-                        (w for w in workers if w.conn is conn), None
-                    )
-                    if handle is None:
-                        continue
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        continue  # dead worker; the sweep respawns it
-                    task_id, attempt, status, result = message
-                    current = (
-                        handle.task is not None
-                        and handle.task.task_id == task_id
-                        and handle.attempt == attempt
-                    )
-                    if status == "telemetry":
-                        # Worker metrics/spans ride the same ordered
-                        # pipe as results.  Finals wait in the buffer
-                        # until their attempt is *accepted*; in-flight
-                        # snapshots feed only live gauges.  Either way
-                        # a stale assignment's telemetry is dropped.
-                        if not current:
-                            continue
-                        if result.get("final"):
-                            telemetry_buffer[(task_id, attempt)] = result
-                        else:
-                            self._notify(
-                                "on_worker_telemetry", result, False
-                            )
-                        continue
-                    if current:
-                        task = handle.task
-                        handle.task = None
-                        if task_id in report.outcomes:
-                            pass  # already satisfied (stale double)
-                        elif status == "ok" and (
-                            self.validate is None or self.validate(result)
-                        ):
-                            deaths_without_progress = 0
-                            seconds = time.time() - started_at[task_id]
-                            buffered = telemetry_buffer.pop(
-                                (task_id, attempt), None
-                            )
-                            if buffered is not None:
-                                self._notify(
-                                    "on_worker_telemetry", buffered, True
-                                )
-                            self._complete(
-                                task, result, attempt, seconds, report,
-                                quarantined=False,
-                            )
-                        elif status == "ok":
-                            fail(None, task, "corrupt result")
-                        else:
-                            fail(None, task, str(result))
-                    # else: a stale result for an assignment the
-                    # supervisor already gave up on — drop it.
-
-                # 3. Liveness and hang sweep.
-                now = time.time()
-                if (
-                    self.observer.enabled
-                    and now - last_heartbeat_notify >= 0.5
-                ):
-                    last_heartbeat_notify = now
-                    self._notify(
-                        "on_worker_heartbeats",
-                        {
-                            handle.worker_id: (
-                                round(now - handle.heartbeat.value, 3)
-                                if handle.heartbeat.value
-                                else -1.0
-                            )
-                            for handle in workers
-                            if handle.process.is_alive()
-                        },
-                    )
-                for handle in list(workers):
-                    if not handle.process.is_alive():
-                        task = handle.task
-                        respawn(
-                            handle,
-                            f"exited with code {handle.process.exitcode}",
-                        )
-                        if task is not None:
-                            fail(None, task, "worker died mid-task")
-                    elif handle.hung(now, self.task_timeout):
-                        task = handle.task
-                        handle.task = None
-                        respawn(handle, "task timeout (hung)")
-                        fail(None, task, "task timeout")
-        finally:
-            for handle in workers:
-                try:
-                    handle.task_queue.put(None)
-                except (OSError, ValueError):
-                    pass
-            deadline = time.time() + 5.0
-            for handle in workers:
-                handle.process.join(timeout=max(0.1, deadline - time.time()))
-                if handle.process.is_alive():
-                    handle.process.terminate()
-                    handle.process.join(timeout=1.0)
-                try:
-                    handle.conn.close()
-                except OSError:
-                    pass
-
-        # 4. Quarantined tasks re-run serially in-process: slower, but
-        #    exact — the worker-scoped faults cannot follow them here.
-        for task in quarantine:
-            self._run_serial(task, report, quarantined=True)
 
     # ------------------------------------------------------------------
     # Shared bookkeeping

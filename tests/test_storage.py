@@ -553,3 +553,150 @@ def test_mine_facade_threads_storage_and_flags(tmp_path, demo_path):
             spill_dir=str(tmp_path),
             spill_degrade=False,
         )
+
+
+# ----------------------------------------------------------------------
+# Lease primitives (the distributed transport's fencing layer)
+# ----------------------------------------------------------------------
+
+
+class TestLeasePrimitives:
+    def _path(self, tmp_path):
+        return str(tmp_path / "lease-t0.json")
+
+    def test_acquire_fresh_then_blocked(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE, acquire_lease
+
+        path = self._path(tmp_path)
+        lease = acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0)
+        assert lease is not None and lease.token == 1
+        assert lease.owner == "node-a"
+        # A live lease blocks other owners...
+        assert acquire_lease(LOCAL_STORAGE, path, "node-b", ttl=10.0) is None
+        # ...but re-acquisition by the same owner bumps the token.
+        again = acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0)
+        assert again is not None and again.token == 2
+
+    def test_expired_lease_is_claimable_with_token_bump(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE, acquire_lease
+
+        path = self._path(tmp_path)
+        acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0, now=1000.0)
+        taken = acquire_lease(
+            LOCAL_STORAGE, path, "node-b", ttl=10.0, now=1011.0
+        )
+        assert taken is not None
+        assert taken.owner == "node-b"
+        assert taken.token == 2  # fences node-a's stale claim
+
+    def test_steal_takes_over_a_live_lease(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE, acquire_lease
+
+        path = self._path(tmp_path)
+        acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=60.0)
+        stolen = acquire_lease(
+            LOCAL_STORAGE, path, "coordinator", ttl=None, steal=True
+        )
+        assert stolen is not None
+        assert stolen.token == 2
+        assert stolen.expires_at is None  # never expires; steal-only
+
+    def test_verify_and_renew_fence_out_stale_holders(self, tmp_path):
+        from repro.runtime.storage import (
+            LOCAL_STORAGE,
+            LeaseFenced,
+            acquire_lease,
+            renew_lease,
+            verify_lease,
+        )
+
+        path = self._path(tmp_path)
+        old = acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0, now=0.0)
+        renewed = renew_lease(LOCAL_STORAGE, path, old, 10.0, now=5.0)
+        assert renewed.token == old.token  # renewal never bumps
+        assert renewed.expires_at == 15.0
+        # node-b re-acquires after expiry; node-a's handle is stale.
+        acquire_lease(LOCAL_STORAGE, path, "node-b", ttl=10.0, now=20.0)
+        with pytest.raises(LeaseFenced):
+            verify_lease(LOCAL_STORAGE, path, renewed)
+        with pytest.raises(LeaseFenced):
+            renew_lease(LOCAL_STORAGE, path, renewed, 10.0, now=21.0)
+
+    def test_release_is_holder_only(self, tmp_path):
+        from repro.runtime.storage import (
+            LOCAL_STORAGE,
+            acquire_lease,
+            load_lease,
+            release_lease,
+        )
+
+        path = self._path(tmp_path)
+        stale = acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0, now=0.0)
+        current = acquire_lease(
+            LOCAL_STORAGE, path, "node-b", ttl=10.0, now=20.0
+        )
+        # The fenced-out holder's release must not delete the new
+        # holder's lease.
+        assert release_lease(LOCAL_STORAGE, path, stale) is False
+        assert load_lease(LOCAL_STORAGE, path).owner == "node-b"
+        assert release_lease(LOCAL_STORAGE, path, current) is True
+        assert load_lease(LOCAL_STORAGE, path) is None
+
+    def test_torn_lease_file_reads_as_no_lease(self, tmp_path):
+        from repro.runtime.storage import (
+            LOCAL_STORAGE,
+            acquire_lease,
+            load_lease,
+        )
+
+        path = self._path(tmp_path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"key": "lease-t0.json", "own')  # torn write
+        assert load_lease(LOCAL_STORAGE, path) is None
+        # ...and the next acquire simply claims it.
+        lease = acquire_lease(LOCAL_STORAGE, path, "node-a", ttl=10.0)
+        assert lease is not None and lease.token == 1
+
+    def test_lease_record_round_trip(self):
+        from repro.runtime.storage import Lease
+
+        lease = Lease(
+            key="k", owner="o", token=3, expires_at=None, acquired_at=1.5
+        )
+        assert Lease.from_record(lease.to_record()) == lease
+
+
+class TestExclusiveCommit:
+    """First-writer-wins: the primitive duplicate result delivery
+    rides on."""
+
+    def test_first_writer_wins_and_content_is_immutable(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE
+
+        target = str(tmp_path / "result.json")
+        assert LOCAL_STORAGE.create_exclusive_text(target, "winner") is True
+        assert LOCAL_STORAGE.create_exclusive_text(target, "loser") is False
+        with open(target, encoding="utf-8") as handle:
+            assert handle.read() == "winner"
+
+    def test_loser_leaves_no_temp_droppings(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE
+
+        target = str(tmp_path / "result.json")
+        LOCAL_STORAGE.create_exclusive_text(target, "winner")
+        LOCAL_STORAGE.create_exclusive_text(target, "loser")
+        assert sorted(os.listdir(tmp_path)) == ["result.json"]
+
+    def test_link_never_overwrites(self, tmp_path):
+        from repro.runtime.storage import LOCAL_STORAGE
+
+        src_a = str(tmp_path / "a")
+        src_b = str(tmp_path / "b")
+        dst = str(tmp_path / "dst")
+        for path, text in ((src_a, "A"), (src_b, "B")):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        assert LOCAL_STORAGE.link(src_a, dst) is True
+        assert LOCAL_STORAGE.link(src_b, dst) is False
+        with open(dst, encoding="utf-8") as handle:
+            assert handle.read() == "A"

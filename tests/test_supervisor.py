@@ -84,10 +84,10 @@ class TestSerial:
         assert report.worker_restarts == 0
 
     def test_degrades_when_multiprocessing_unavailable(self, monkeypatch):
-        import repro.runtime.supervisor as supervisor_module
+        import repro.runtime.transport as transport_module
 
         monkeypatch.setattr(
-            supervisor_module, "_mp_available", lambda: False
+            transport_module, "_mp_available", lambda: False
         )
         report = Supervisor(_double, n_workers=4).run(_tasks(4))
         assert report.mode == "serial"
@@ -440,3 +440,123 @@ class TestFacade:
         blob = json.dumps(observer.metrics.to_dict())
         assert "dmc_worker_restarts_total" in blob
         assert "dmc_tasks_quarantined_total" in blob
+
+
+# ----------------------------------------------------------------------
+# Clock discipline: interval math must survive wall-clock steps
+# ----------------------------------------------------------------------
+
+
+class TestMonotonicClock:
+    """Hang detection and heartbeats run on ``time.monotonic()`` —
+    an NTP step (or DST jump) on the coordinator host must neither
+    fire false hang kills nor mask real hangs."""
+
+    def _handle(self):
+        from repro.runtime.transport import _WorkerHandle
+
+        class _Beat:
+            value = 0.0
+
+        handle = _WorkerHandle(0, None, None, None, _Beat())
+        handle.task = Task(task_id="t-0", payload=0)
+        return handle
+
+    def test_hung_measures_from_last_heartbeat(self):
+        handle = self._handle()
+        handle.assigned_at = 100.0
+        handle.heartbeat.value = 101.0
+        assert not handle.hung(105.0, timeout=10.0)
+        assert handle.hung(112.0, timeout=10.0)
+
+    def test_not_hung_before_first_heartbeat_of_assignment(self):
+        # The heartbeat still carries the *previous* task's stamp:
+        # the worker is importing/unpickling, not hanging.
+        handle = self._handle()
+        handle.assigned_at = 100.0
+        handle.heartbeat.value = 50.0
+        assert not handle.hung(1000.0, timeout=1.0)
+
+    def test_no_timeout_never_hangs(self):
+        handle = self._handle()
+        handle.assigned_at = 0.0
+        handle.heartbeat.value = 1.0
+        assert not handle.hung(1e9, timeout=None)
+
+    def test_idle_worker_never_hangs(self):
+        handle = self._handle()
+        handle.task = None
+        assert not handle.hung(1e9, timeout=0.001)
+
+    @pytest.mark.timeout(180)
+    def test_pool_run_immune_to_wall_clock_steps(self, monkeypatch):
+        """A wall clock frozen *and* jumped backwards must not affect
+        the pool: every supervisor-side interval is monotonic.  (Wall
+        time is only ever used for reporting and cross-host lease
+        expiry.)"""
+        import repro.runtime.supervisor as supervisor_mod
+        import repro.runtime.transport as transport_mod
+
+        class SteppingClock:
+            """time.time() that jumps an hour backwards per call."""
+
+            def __init__(self):
+                self.now = 1e9
+
+            def __call__(self):
+                self.now -= 3600.0
+                return self.now
+
+        stepping = SteppingClock()
+        monkeypatch.setattr(supervisor_mod.time, "time", stepping)
+        monkeypatch.setattr(transport_mod.time, "time", stepping)
+        report = Supervisor(
+            _double, n_workers=2, task_timeout=30.0
+        ).run(_tasks(4))
+        assert report.results(_tasks(4)) == [0, 2, 4, 6]
+        assert report.worker_restarts == 0
+        assert report.tasks_quarantined == 0
+
+
+# ----------------------------------------------------------------------
+# Dual-coordinator ledger fencing
+# ----------------------------------------------------------------------
+
+
+class TestLedgerOwnership:
+    """Two coordinators pointed at one ledger_dir: the second takes
+    over, the first gets a typed ``LedgerFenced`` on its next write
+    instead of silently interleaving manifests."""
+
+    def test_second_ledger_fences_the_first(self, tmp_path):
+        from repro.runtime.supervisor import LedgerFenced
+
+        first = ShardLedger(str(tmp_path), {"kind": "demo"})
+        first.record("t-0", [1, 2])
+        second = ShardLedger(str(tmp_path), {"kind": "demo"})
+        with pytest.raises(LedgerFenced):
+            first.record("t-1", [3, 4])
+        with pytest.raises(LedgerFenced):
+            first.clear()
+        # The new owner keeps working, with the old owner's state.
+        assert second.load() == {"t-0": [1, 2]}
+        second.record("t-1", [3, 4])
+        assert second.load() == {"t-0": [1, 2], "t-1": [3, 4]}
+
+    def test_ledger_fenced_is_a_lease_fenced(self):
+        from repro.runtime.storage import LeaseFenced
+        from repro.runtime.supervisor import LedgerFenced
+
+        assert issubclass(LedgerFenced, LeaseFenced)
+
+    def test_fenced_coordinator_cannot_corrupt_manifest(self, tmp_path):
+        from repro.runtime.supervisor import LedgerFenced
+
+        first = ShardLedger(str(tmp_path), {"kind": "demo"})
+        first.record("t-0", [1])
+        second = ShardLedger(str(tmp_path), {"kind": "demo"})
+        second.record("t-1", [2])
+        for _ in range(3):
+            with pytest.raises(LedgerFenced):
+                first.record("t-stale", [9])
+        assert "t-stale" not in second.load()
