@@ -14,6 +14,7 @@ from repro.core.policies import (
     ImplicationPolicy,
     SimilarityPolicy,
 )
+from repro.core.vector import vector_scan
 from repro.datasets.synthetic import random_matrix
 from repro.matrix.ops import count_and_not, pack_rows
 
@@ -51,6 +52,28 @@ def test_micro_generic_scan_sim(benchmark, workload):
     rules = benchmark.pedantic(
         miss_counting_scan, args=(workload, policy), rounds=3,
         iterations=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_vector_scan_imp(benchmark, workload):
+    """The blocked numpy engine on the same workload as the generic
+    implication scan — the tentpole speedup pair.  One warmup round
+    keeps one-time numpy/BLAS initialization out of the steady-state
+    numbers."""
+    policy = ImplicationPolicy(workload.column_ones(), 0.8)
+    rules = benchmark.pedantic(
+        vector_scan, args=(workload, policy), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_micro_vector_scan_sim(benchmark, workload):
+    policy = SimilarityPolicy(workload.column_ones(), 0.6)
+    rules = benchmark.pedantic(
+        vector_scan, args=(workload, policy), rounds=3, iterations=1,
+        warmup_rounds=1,
     )
     benchmark.extra_info["rules"] = len(rules)
 

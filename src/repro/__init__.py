@@ -35,7 +35,14 @@ Package layout:
   reporting threaded through every pipeline.
 """
 
-from repro.api import MiningConfig, MiningResult, mine
+from repro.api import (
+    ENGINES,
+    EnginePlan,
+    MiningConfig,
+    MiningResult,
+    mine,
+    resolve_engine,
+)
 from repro.baselines import (
     apriori_frequent_itemsets,
     apriori_pair_rules,
@@ -88,6 +95,8 @@ __all__ = [
     "BitmapConfig",
     "CheckpointStore",
     "ConsoleProgress",
+    "ENGINES",
+    "EnginePlan",
     "FaultyStorage",
     "ImplicationRule",
     "LocalStorage",
@@ -125,6 +134,7 @@ __all__ = [
     "mine",
     "mine_with_memory_budget",
     "minhash_similarity_rules",
+    "resolve_engine",
     "similarity_components",
     "similarity_rules_bruteforce",
 ]

@@ -43,6 +43,7 @@ from repro.core.stats import PipelineStats
 from repro.matrix.binary_matrix import BinaryMatrix, Vocabulary
 from repro.matrix.stream import (
     FileSource,
+    MatrixSource,
     TransactionSource,
     stream_implication_rules,
     stream_similarity_rules,
@@ -53,6 +54,9 @@ from repro.runtime.storage import io_error_kind, terminal_io_error
 
 #: The two rule kinds of the paper (Sections 4 and 5).
 TASKS = ("implication", "similarity")
+
+#: Valid values of :attr:`MiningConfig.engine`.
+ENGINES = ("auto", "dmc", "stream", "partitioned", "vector")
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,27 @@ class MiningConfig:
     threshold:
         ``minconf`` / ``minsim`` — a float, :class:`fractions.Fraction`
         or ``"p/q"`` string in ``(0, 1]``.
+    engine:
+        Which pipeline mines the rules (every engine produces the
+        identical rule set; see :func:`resolve_engine` for the full
+        resolution contract):
+
+        - ``"auto"`` (default) — pick from the data and the other
+          knobs, exactly as before this field existed: streaming
+          sources stream, ``memory_budget`` guards, ``partitioned`` /
+          ``transport`` partition, everything else runs in-memory DMC.
+        - ``"dmc"`` — the serial in-memory pipeline.
+        - ``"vector"`` — the blocked numpy second-pass engine
+          (:mod:`repro.core.vector`); combined with ``n_workers`` /
+          ``transport`` it runs inside each partition.
+        - ``"stream"`` — the two-pass on-disk pipeline (an in-memory
+          matrix is wrapped in a
+          :class:`~repro.matrix.stream.MatrixSource`).
+        - ``"partitioned"`` — divide-and-conquer candidate generation.
+    vector_block_rows:
+        Rows per block for the vector engine (None = the engine's
+        :data:`repro.core.vector.DEFAULT_BLOCK_ROWS`); overrides
+        ``options.vector_block_rows``.
     options:
         A :class:`~repro.core.dmc_imp.PruningOptions` for the in-memory
         pipelines (ablation toggles, memory guard).
@@ -150,6 +175,8 @@ class MiningConfig:
 
     task: str = "implication"
     threshold: Any = None
+    engine: str = "auto"
+    vector_block_rows: Optional[int] = None
     options: Optional[PruningOptions] = None
     bitmap: Optional[BitmapConfig] = None
     partitioned: bool = False
@@ -179,6 +206,36 @@ class MiningConfig:
         if self.threshold is None:
             raise ValueError(
                 "a threshold is required (threshold=, minconf= or minsim=)"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.vector_block_rows is not None and self.vector_block_rows < 1:
+            raise ValueError("vector_block_rows must be at least 1")
+        if self.engine == "dmc" and (
+            self.partitioned or self.transport is not None
+        ):
+            raise ValueError(
+                "engine='dmc' is the single-process in-memory pipeline; "
+                "it cannot be combined with partitioned=/transport= "
+                "(use engine='partitioned' or engine='vector')"
+            )
+        if self.engine in ("dmc", "vector") and self.memory_budget is not None:
+            raise ValueError(
+                f"engine={self.engine!r} and memory_budget= are mutually "
+                "exclusive (the budget's degradation path picks its own "
+                "engine; use engine='auto')"
+            )
+        if self.engine == "stream" and (
+            self.partitioned
+            or self.transport is not None
+            or self.memory_budget is not None
+        ):
+            raise ValueError(
+                "engine='stream' cannot be combined with partitioned=/"
+                "transport=/memory_budget= (the streaming pipeline is "
+                "single-process)"
             )
         if self.partitioned and self.memory_budget is not None:
             raise ValueError(
@@ -216,8 +273,10 @@ class MiningConfig:
 class MiningResult:
     """What every :func:`mine` call returns.
 
-    ``engine`` names the pipeline that produced the rules: ``"dmc"``,
-    ``"partitioned"`` or ``"stream"``.  ``trace`` is the observer's
+    ``engine`` names the pipeline that produced the rules — the
+    carrier, plus a vector suffix when the blocked numpy scan ran under
+    it: ``"dmc"``, ``"vector"``, ``"stream"``, ``"stream+vector"``,
+    ``"partitioned"`` or ``"partitioned+vector"``.  ``trace`` is the observer's
     span tree (the :meth:`repro.observe.Tracer.to_dict` document) when
     a tracing observer watched the run, else ``None``.  Iterating the
     result iterates its rules.
@@ -265,7 +324,154 @@ def _resolve_config(
     return config
 
 
-def _resolve_telemetry(config: MiningConfig, stats: PipelineStats):
+@dataclass(frozen=True)
+class EnginePlan:
+    """The resolved execution plan of one :func:`mine` call.
+
+    ``carrier`` is the pipeline that owns the passes: ``"dmc"``
+    (in-memory), ``"stream"`` (two-pass on disk), ``"partitioned"``
+    (divide and conquer) or ``"guarded"`` (DMC under a memory budget,
+    degrading to partitioned).  ``scan_engine`` is what runs the
+    miss-counting passes inside the carrier: ``"serial"`` or
+    ``"vector"``.  ``name`` is the user-facing combination recorded on
+    :attr:`MiningResult.engine`, :attr:`PipelineStats.engine` and the
+    journal's ``run-start`` event.
+    """
+
+    name: str
+    carrier: str
+    scan_engine: str
+
+
+def _engine_name(carrier: str, scan_engine: str) -> str:
+    """The recorded engine name for a carrier/scan combination."""
+    if scan_engine != "vector":
+        return carrier
+    if carrier == "dmc":
+        return "vector"
+    return f"{carrier}+vector"
+
+
+def resolve_engine(
+    config: MiningConfig, *, streaming: bool
+) -> tuple[EnginePlan, PruningOptions]:
+    """Resolve ``config.engine`` to an execution plan — the one place
+    engine selection happens.
+
+    Returns ``(plan, options)`` where ``options`` is the effective
+    :class:`~repro.core.dmc_imp.PruningOptions` (the configured ones
+    with ``bitmap`` / ``scan_engine`` / ``vector_block_rows``
+    overrides applied).  ``streaming`` says whether the data arrived as
+    a source rather than an in-memory matrix.
+
+    The contract, per ``engine=`` value:
+
+    - ``"auto"`` — exactly the pre-``engine=`` behavior: streaming data
+      streams; ``memory_budget`` runs the guarded carrier;
+      ``partitioned=True`` (now deprecated in this spelling) or a
+      ``transport`` partitions; anything else is in-memory DMC.  The
+      scan engine follows ``options.scan_engine``.
+    - ``"dmc"`` / ``"vector"`` — the in-memory pipeline with the serial
+      or vector scan; needs an in-memory matrix.  ``"vector"``
+      combined with ``partitioned=True``, a ``transport`` or
+      ``n_workers > 1`` runs the vector scan inside each partition
+      (``"partitioned+vector"``).
+    - ``"stream"`` — the two-pass streaming pipeline; an in-memory
+      matrix is wrapped in a :class:`~repro.matrix.stream.
+      MatrixSource`.  Combine with ``options.scan_engine="vector"``
+      for the blocked pass 2 (``"stream+vector"``).
+    - ``"partitioned"`` — divide and conquer, serial or vector per
+      ``options.scan_engine``.
+
+    Contradictions raise ``ValueError`` (e.g. ``engine="vector"`` on a
+    streaming source, or ``engine="dmc"`` with
+    ``options.scan_engine="vector"``); config-only conflicts are
+    already rejected by :class:`MiningConfig`.
+    """
+    options = (
+        config.options if config.options is not None else PruningOptions()
+    )
+    if config.bitmap is not None:
+        options = replace(options, bitmap=config.bitmap)
+
+    engine = config.engine
+    scan = options.scan_engine
+    if engine == "dmc" and scan == "vector":
+        raise ValueError(
+            "engine='dmc' is the serial pipeline but "
+            "options.scan_engine='vector'; pass engine='vector' "
+            "(or drop the scan_engine override)"
+        )
+    if engine == "vector":
+        scan = "vector"
+
+    wants_partition = config.partitioned or config.transport is not None
+
+    if streaming:
+        if engine in ("dmc", "vector", "partitioned"):
+            hint = (
+                " (for a vectorized pass 2 over a stream, use "
+                "engine='stream' with "
+                "options=PruningOptions(scan_engine='vector'))"
+                if engine == "vector"
+                else ""
+            )
+            raise ValueError(
+                f"engine={engine!r} needs in-memory data; load the "
+                f"source into a BinaryMatrix first{hint}"
+            )
+        if wants_partition or config.memory_budget is not None:
+            raise ValueError(
+                "partitioned/distributed/memory-budget mining needs "
+                "in-memory data; load the source into a BinaryMatrix first"
+            )
+        carrier = "stream"
+    elif engine == "stream":
+        carrier = "stream"
+    elif engine == "partitioned":
+        carrier = "partitioned"
+    elif engine == "vector":
+        carrier = (
+            "partitioned"
+            if wants_partition or (config.n_workers or 0) > 1
+            else "dmc"
+        )
+    elif engine == "dmc":
+        carrier = "dmc"  # config rejected partitioned/transport already
+    else:  # auto
+        if config.memory_budget is not None:
+            carrier = "guarded"
+        elif wants_partition:
+            carrier = "partitioned"
+            if config.partitioned:
+                warnings.warn(
+                    "partitioned=True is deprecated; pass "
+                    "engine='partitioned' instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+        else:
+            carrier = "dmc"
+
+    block_rows = (
+        config.vector_block_rows
+        if config.vector_block_rows is not None
+        else options.vector_block_rows
+    )
+    if scan == "vector" and block_rows is None:
+        from repro.core.vector import DEFAULT_BLOCK_ROWS
+
+        block_rows = DEFAULT_BLOCK_ROWS
+    options = replace(
+        options, scan_engine=scan, vector_block_rows=block_rows
+    )
+    name = _engine_name("dmc" if carrier == "guarded" else carrier, scan)
+    return EnginePlan(name=name, carrier=carrier, scan_engine=scan), options
+
+
+def _resolve_telemetry(
+    config: MiningConfig, stats: PipelineStats, plan: EnginePlan
+):
     """The effective observer, plus the journal/server owned by mine().
 
     A journal or metrics server needs a :class:`RunObserver`; when the
@@ -277,6 +483,9 @@ def _resolve_telemetry(config: MiningConfig, stats: PipelineStats):
     observer = (
         config.observer if config.observer is not None else NULL_OBSERVER
     )
+    status = getattr(observer, "status", None)
+    if status is not None:
+        status.engine = plan.name
     if config.journal_path is None and config.serve_metrics_port is None:
         return observer, None, None
     from repro.observe import (
@@ -321,6 +530,8 @@ def _resolve_telemetry(config: MiningConfig, stats: PipelineStats):
                 "run-start",
                 task=config.task,
                 threshold=str(config.threshold),
+                engine=plan.name,
+                vector_block_rows=stats.vector_block_rows,
                 partitioned=config.partitioned,
                 n_workers=config.n_workers,
             )
@@ -329,6 +540,7 @@ def _resolve_telemetry(config: MiningConfig, stats: PipelineStats):
     if config.serve_metrics_port is not None:
         if observer.status is None:
             observer.status = LiveRunStatus(observer.run_id)
+            observer.status.engine = plan.name
         server = MetricsServer(
             observer.metrics,
             port=config.serve_metrics_port,
@@ -372,11 +584,14 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
     """
     config = _resolve_config(config, kwargs)
     matrix, source = _as_input(data)
+    plan, options = resolve_engine(config, streaming=matrix is None)
+    if plan.carrier == "stream" and source is None:
+        source = MatrixSource(matrix)
     stats = PipelineStats()
-    observer, journal, server = _resolve_telemetry(config, stats)
-    options = config.options if config.options is not None else PruningOptions()
-    if config.bitmap is not None:
-        options = replace(options, bitmap=config.bitmap)
+    stats.engine = plan.name
+    if plan.scan_engine == "vector":
+        stats.vector_block_rows = options.vector_block_rows
+    observer, journal, server = _resolve_telemetry(config, stats, plan)
 
     # A live server/journal should also see a SIGTERM'd run unwind
     # cleanly (handler close, journal fsync) instead of dying torn.
@@ -388,9 +603,14 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
         interruptible = nullcontext()
     try:
         with interruptible:
-            rules, engine = _dispatch_engines(
-                config, matrix, source, options, stats, observer
+            rules, engine = _run_plan(
+                plan, config, matrix, source, options, stats, observer
             )
+        # The guarded carrier may have degraded (resetting stats on the
+        # way); re-stamp what actually ran.
+        stats.engine = engine
+        if plan.scan_engine == "vector":
+            stats.vector_block_rows = options.vector_block_rows
         observer.finish(stats=stats, guard=options.memory_guard)
     except BaseException as error:
         status = getattr(observer, "status", None)
@@ -420,18 +640,13 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
     )
 
 
-def _dispatch_engines(config, matrix, source, options, stats, observer):
-    """Run the configured engine; returns ``(rules, engine_name)``."""
-    if matrix is None:
-        if (
-            config.partitioned
-            or config.transport is not None
-            or config.memory_budget is not None
-        ):
-            raise ValueError(
-                "partitioned/distributed/memory-budget mining needs "
-                "in-memory data; load the source into a BinaryMatrix first"
-            )
+def _run_plan(plan, config, matrix, source, options, stats, observer):
+    """Run a resolved :class:`EnginePlan`; returns ``(rules, name)``.
+
+    All selection logic lives in :func:`resolve_engine`; this is pure
+    dispatch on ``plan.carrier``.
+    """
+    if plan.carrier == "stream":
         streamer = (
             stream_implication_rules
             if config.task == "implication"
@@ -449,10 +664,12 @@ def _dispatch_engines(config, matrix, source, options, stats, observer):
             storage=config.storage,
             spill_degrade=config.spill_degrade,
             preflight=config.preflight_disk,
+            scan_engine=options.scan_engine,
+            vector_block_rows=options.vector_block_rows,
         )
-        engine = "stream"
-    elif config.memory_budget is not None:
-        rules, engine = mine_with_memory_budget(
+        return rules, plan.name
+    if plan.carrier == "guarded":
+        rules, carrier_ran = mine_with_memory_budget(
             matrix,
             config.threshold,
             kind=config.task,
@@ -465,8 +682,10 @@ def _dispatch_engines(config, matrix, source, options, stats, observer):
             storage=config.storage,
             stats=stats,
             observer=observer,
+            options=options,
         )
-    elif config.partitioned or config.transport is not None:
+        return rules, _engine_name(carrier_ran, plan.scan_engine)
+    if plan.carrier == "partitioned":
         partitioner = (
             find_implication_rules_partitioned
             if config.task == "implication"
@@ -485,21 +704,20 @@ def _dispatch_engines(config, matrix, source, options, stats, observer):
             nodes=config.nodes,
             stats=stats,
             observer=observer,
+            scan_engine=options.scan_engine,
+            vector_block_rows=options.vector_block_rows,
         )
-        engine = "partitioned"
-    else:
-        miner = (
-            find_implication_rules
-            if config.task == "implication"
-            else find_similarity_rules
-        )
-        rules = miner(
-            matrix,
-            config.threshold,
-            options=options,
-            stats=stats,
-            observer=observer,
-        )
-        engine = "dmc"
-
-    return rules, engine
+        return rules, plan.name
+    miner = (
+        find_implication_rules
+        if config.task == "implication"
+        else find_similarity_rules
+    )
+    rules = miner(
+        matrix,
+        config.threshold,
+        options=options,
+        stats=stats,
+        observer=observer,
+    )
+    return rules, plan.name

@@ -90,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="print aggregate statistics instead of rules",
         )
         sub.add_argument(
+            "--engine",
+            choices=("auto", "dmc", "stream", "partitioned", "vector"),
+            default="auto",
+            help="mining engine (default auto: picked from the other "
+                 "flags); vector runs the blocked numpy second pass — "
+                 "combine with --workers to run it inside each "
+                 "partition, or with --stream for the streaming pass 2",
+        )
+        sub.add_argument(
+            "--block-rows", type=int, default=None, metavar="N",
+            help="rows per block for the vector engine "
+                 "(default: its built-in block size)",
+        )
+        sub.add_argument(
             "--stream", action="store_true",
             help="mine with the two-pass streaming pipeline (never "
                  "loads the matrix; numeric ids only)",
@@ -341,6 +355,15 @@ def _mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if use_stream and getattr(args, "engine", "auto") in (
+        "dmc", "partitioned",
+    ):
+        print(
+            f"--engine {args.engine} mines in memory and cannot be "
+            "combined with --stream/--checkpoint",
+            file=sys.stderr,
+        )
+        return 2
     observer = _build_observer(args)
 
     vocabulary = None
@@ -369,10 +392,25 @@ def _mine(args: argparse.Namespace) -> int:
                 if args.command == "mine-imp"
                 else {"minsim": args.minsim}
             )
+            engine = getattr(args, "engine", "auto")
+            engine_kwargs = {}
+            if use_stream and engine == "vector":
+                # `--stream --engine vector`: the vector scan runs as
+                # the streaming pipeline's pass 2.
+                from repro.core.dmc_imp import PruningOptions
+
+                engine = "stream"
+                engine_kwargs["options"] = PruningOptions(
+                    scan_engine="vector"
+                )
+            engine_kwargs["engine"] = engine
+            if getattr(args, "block_rows", None) is not None:
+                engine_kwargs["vector_block_rows"] = args.block_rows
             supervised = {}
             if workers is not None or transport is not None:
+                if engine == "auto":
+                    engine_kwargs["engine"] = "partitioned"
                 supervised = {
-                    "partitioned": True,
                     "n_partitions": getattr(args, "partitions", 4),
                     "n_workers": workers,
                     "task_timeout": getattr(args, "task_timeout", None),
@@ -401,6 +439,7 @@ def _mine(args: argparse.Namespace) -> int:
                 observer=observer,
                 journal_path=getattr(args, "journal", None),
                 serve_metrics_port=serve_port,
+                **engine_kwargs,
                 **supervised,
                 **threshold,
             )
@@ -477,6 +516,10 @@ def _journal(args: argparse.Namespace) -> int:
 
     wall = summary["wall_seconds"]
     header = f"run {summary['run_id']}"
+    if summary.get("engine"):
+        header += f" [{summary['engine']}]"
+        if summary.get("vector_block_rows"):
+            header += f" (block_rows={summary['vector_block_rows']})"
     if summary["rules"] is not None:
         header += f": {summary['rules']} rules"
     if wall is not None:

@@ -7,11 +7,25 @@ observed so far.  The structure also carries the memory model used by
 the paper's Figure 3 and Figure 6(g)/(h) experiments: each candidate
 entry costs a column id plus a miss counter, and each live list costs a
 small fixed overhead.
+
+Two layouts implement it:
+
+- :class:`CandidateArray` — dict-of-dicts, one miss counter mutated at
+  a time.  The row-at-a-time scans (:mod:`repro.core.miss_counting`)
+  and the Algorithm 4.1 tail run on this.
+- :class:`PairStore` — struct-of-arrays: parallel numpy vectors of
+  owner ids, candidate ids, miss counts and budgets, updated and
+  compacted whole-array at a time.  The blocked vector engine
+  (:mod:`repro.core.vector`) runs on this; both layouts model memory
+  with the same per-entry/per-list byte charges so guard and bitmap
+  switch decisions agree across engines.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 #: Bytes charged per candidate entry: a 4-byte column id + 4-byte counter.
 BYTES_PER_ENTRY = 8
@@ -124,4 +138,81 @@ class CandidateArray:
         return (
             f"CandidateArray(lists={len(self._lists)}, "
             f"entries={self._entries}, bytes={self.memory_bytes()})"
+        )
+
+
+class PairStore:
+    """Live candidate pairs as parallel numpy arrays (struct of arrays).
+
+    One slot per live pair: ``owners[i]`` is the list-owning column
+    ``c_j``, ``cands[i]`` the candidate ``c_k``, ``misses[i]`` the
+    sparse-side miss count so far, and ``budgets[i]`` the pair's
+    (immutable) miss budget.  Appends and pruning-sweep compactions
+    replace the arrays wholesale, so every per-pair operation in the
+    vector engine is a single numpy expression over these columns.
+    """
+
+    def __init__(self) -> None:
+        self.owners = np.empty(0, dtype=np.int64)
+        self.cands = np.empty(0, dtype=np.int64)
+        self.misses = np.empty(0, dtype=np.int64)
+        self.budgets = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.owners)
+
+    def append(
+        self,
+        owners: np.ndarray,
+        cands: np.ndarray,
+        misses: np.ndarray,
+        budgets: np.ndarray,
+    ) -> None:
+        """Admit a batch of new pairs."""
+        if not len(owners):
+            return
+        self.owners = np.concatenate([self.owners, owners])
+        self.cands = np.concatenate([self.cands, cands])
+        self.misses = np.concatenate([self.misses, misses])
+        self.budgets = np.concatenate([self.budgets, budgets])
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every pair whose ``keep`` flag is False."""
+        if bool(keep.all()):
+            return
+        self.owners = self.owners[keep]
+        self.cands = self.cands[keep]
+        self.misses = self.misses[keep]
+        self.budgets = self.budgets[keep]
+
+    def keys(self, n_columns: int) -> np.ndarray:
+        """Dense ``owner * n_columns + cand`` keys for dedup checks."""
+        return self.owners * np.int64(n_columns) + self.cands
+
+    def n_lists(self) -> int:
+        """Number of distinct owners — the live "lists" of Figure 2(b)."""
+        if not len(self.owners):
+            return 0
+        return int(np.count_nonzero(np.bincount(self.owners)))
+
+    def memory_bytes(self, n_lists: Optional[int] = None) -> int:
+        """Modelled counter-array bytes (same charges as CandidateArray)."""
+        if n_lists is None:
+            n_lists = self.n_lists()
+        return len(self.owners) * BYTES_PER_ENTRY + n_lists * BYTES_PER_LIST
+
+    def to_candidate_array(self) -> CandidateArray:
+        """Materialize the dict-of-dicts layout (bitmap-tail hand-over)."""
+        cand = CandidateArray()
+        for owner, candidate, misses in zip(
+            self.owners.tolist(), self.cands.tolist(), self.misses.tolist()
+        ):
+            cand.ensure(owner)
+            cand.add(owner, candidate, misses)
+        return cand
+
+    def __repr__(self) -> str:
+        return (
+            f"PairStore(pairs={len(self.owners)}, "
+            f"bytes={self.memory_bytes()})"
         )

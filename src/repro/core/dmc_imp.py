@@ -59,6 +59,43 @@ class PruningOptions:
     #: hard counter-array budget on every scan (duck-typed here to keep
     #: the core free of runtime imports).
     memory_guard: Optional[object] = None
+    #: Second-pass engine: ``"serial"`` runs the row-at-a-time scan of
+    #: :mod:`repro.core.miss_counting`; ``"vector"`` runs the blocked
+    #: numpy engine of :mod:`repro.core.vector`.  Both produce the
+    #: identical rule set; the zero-miss 100%-rule pass always runs
+    #: serial (its id-set layout is already near-optimal).
+    scan_engine: str = "serial"
+    #: Rows per block for ``scan_engine="vector"`` (None = the engine's
+    #: :data:`repro.core.vector.DEFAULT_BLOCK_ROWS`).
+    vector_block_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scan_engine not in ("serial", "vector"):
+            raise ValueError(
+                f"unknown scan_engine {self.scan_engine!r}; "
+                "use 'serial' or 'vector'"
+            )
+
+
+def second_pass_scan(options: PruningOptions):
+    """Return the miss-counting scan callable ``options`` selects.
+
+    The returned callable has :func:`repro.core.miss_counting.
+    miss_counting_scan`'s signature — ``(matrix, policy, order=...,
+    stats=..., bitmap=..., rules=..., guard=..., observer=...)`` — so
+    the DMC pipelines call it without knowing which engine is under it.
+    """
+    if options.scan_engine != "vector":
+        return miss_counting_scan
+    from repro.core.vector import vector_scan
+
+    def scan(matrix, policy, **kwargs):
+        return vector_scan(
+            matrix, policy,
+            block_rows=options.vector_block_rows, **kwargs,
+        )
+
+    return scan
 
 
 def find_implication_rules(
@@ -92,11 +129,13 @@ def find_implication_rules(
 
     rules = RuleSet()
 
+    scan = second_pass_scan(options)
+
     if not options.hundred_percent_pass:
         # Ablation: one combined pass over the full matrix.
         with stats.timer.phase("combined"), observer.phase("combined"):
             policy = ImplicationPolicy(ones, minconf)
-            miss_counting_scan(
+            scan(
                 matrix,
                 policy,
                 order=order,
@@ -134,7 +173,7 @@ def find_implication_rules(
             restricted, sparsest_first=options.row_reordering
         )
         policy = ImplicationPolicy(restricted.column_ones(), minconf)
-        miss_counting_scan(
+        scan(
             restricted,
             policy,
             order=restricted_order,

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.dmc_imp import PruningOptions
-from repro.core.miss_counting import miss_counting_scan, zero_miss_scan
+from repro.core.dmc_imp import PruningOptions, second_pass_scan
+from repro.core.miss_counting import zero_miss_scan
 from repro.core.policies import IdentityPolicy, SimilarityPolicy
 from repro.core.rules import RuleSet
 from repro.core.stats import PipelineStats
@@ -57,6 +57,7 @@ def find_similarity_rules(
         stats.columns_total = matrix.n_columns
 
     rules = RuleSet()
+    scan = second_pass_scan(options)
 
     if not options.hundred_percent_pass:
         with stats.timer.phase("combined"), observer.phase("combined"):
@@ -66,7 +67,7 @@ def find_similarity_rules(
                 use_density_pruning=options.density_pruning,
                 use_max_hits_pruning=options.max_hits_pruning,
             )
-            miss_counting_scan(
+            scan(
                 matrix,
                 policy,
                 order=order,
@@ -109,7 +110,7 @@ def find_similarity_rules(
             use_density_pruning=options.density_pruning,
             use_max_hits_pruning=options.max_hits_pruning,
         )
-        miss_counting_scan(
+        scan(
             restricted,
             policy,
             order=restricted_order,

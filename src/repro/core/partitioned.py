@@ -67,30 +67,8 @@ class _AllPairsImplicationPolicy(ImplicationPolicy):
     def eligible(self, column_j: int, candidate_k: int) -> bool:
         return column_j != candidate_k
 
-
-def _resolve_logs(
-    candidate_log: Optional[List[int]],
-    stats: Optional[PipelineStats],
-) -> List[List[int]]:
-    """The per-partition candidate-count sinks for this run.
-
-    ``candidate_log=`` is the pre-observability spelling and still
-    works, with a :class:`DeprecationWarning`; the counts always land
-    on ``stats.partition_candidates`` as well when ``stats`` is given.
-    """
-    if candidate_log is not None:
-        warnings.warn(
-            "candidate_log= is deprecated; pass stats=PipelineStats() "
-            "and read stats.partition_candidates instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    sinks: List[List[int]] = []
-    if candidate_log is not None:
-        sinks.append(candidate_log)
-    if stats is not None:
-        sinks.append(stats.partition_candidates)
-    return sinks
+    def eligible_mask(self, owners, cands):
+        return owners != cands
 
 
 def _partition_rows(matrix: BinaryMatrix, n_partitions: int) -> List[List[int]]:
@@ -107,13 +85,19 @@ def _mine_chunk(args, observer=None) -> List[Tuple[int, int]]:
     """Worker: mine one partition and return its unordered pairs.
 
     Module-level (not a closure) so it is picklable for
-    ``multiprocessing``.  ``observer`` is the per-attempt worker-side
-    :class:`~repro.observe.RunObserver` injected by the supervisor's
-    ``worker_telemetry`` mode (or the parent observer when partitions
-    run serially); the chunk's scan folds onto its metrics under
-    ``scan="partition"`` so merged totals match a serial run exactly.
+    ``multiprocessing``.  The payload is ``(rows, n_columns, threshold,
+    kind)`` with two optional trailing elements ``scan_engine`` and
+    ``vector_block_rows`` — shorter payloads (from an older shard
+    ledger) default to the serial scan.  ``observer`` is the
+    per-attempt worker-side :class:`~repro.observe.RunObserver`
+    injected by the supervisor's ``worker_telemetry`` mode (or the
+    parent observer when partitions run serially); the chunk's scan
+    folds onto its metrics under ``scan="partition"`` so merged totals
+    match a serial run exactly.
     """
-    rows, n_columns, threshold, kind = args
+    rows, n_columns, threshold, kind = args[:4]
+    scan_engine = args[4] if len(args) > 4 else "serial"
+    vector_block_rows = args[5] if len(args) > 5 else None
     local = BinaryMatrix(rows, n_columns=n_columns)
     if kind == "implication":
         policy = _AllPairsImplicationPolicy(
@@ -130,10 +114,18 @@ def _mine_chunk(args, observer=None) -> List[Tuple[int, int]]:
         else nullcontext()
     )
     with span:
-        local_rules = miss_counting_scan(
-            local, policy, order=scan_order(local), stats=scan_stats,
-            observer=observer,
-        )
+        if scan_engine == "vector":
+            from repro.core.vector import vector_scan
+
+            local_rules = vector_scan(
+                local, policy, order=scan_order(local), stats=scan_stats,
+                observer=observer, block_rows=vector_block_rows,
+            )
+        else:
+            local_rules = miss_counting_scan(
+                local, policy, order=scan_order(local), stats=scan_stats,
+                observer=observer,
+            )
     metrics = getattr(observer, "metrics", None)
     if metrics is not None:
         metrics.record_scan("partition", scan_stats)
@@ -198,7 +190,6 @@ def _local_candidates(
     n_partitions: int,
     kind: str,
     n_workers: Optional[int],
-    sinks: List[List[int]],
     stats: PipelineStats,
     observer,
     task_timeout: Optional[float] = None,
@@ -209,9 +200,14 @@ def _local_candidates(
     storage=None,
     transport=None,
     nodes: int = 0,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> Set[Tuple[int, int]]:
     """Mine every partition (serially, supervised, in a bare pool, or
     on a distributed transport) and union the locally-valid pairs."""
+    engine_tail: Tuple = ()
+    if scan_engine != "serial":
+        engine_tail = (scan_engine, vector_block_rows)
     jobs = [
         (
             [matrix.row(row_id) for row_id in chunk],
@@ -219,6 +215,7 @@ def _local_candidates(
             threshold,
             kind,
         )
+        + engine_tail
         for chunk in _partition_rows(matrix, n_partitions)
     ]
     if not jobs:  # empty matrix: nothing to mine, no pool to size
@@ -314,8 +311,7 @@ def _local_candidates(
     for chunk_pairs in per_chunk:
         before = len(candidates)
         candidates.update(chunk_pairs)
-        for sink in sinks:
-            sink.append(len(candidates) - before)
+        stats.partition_candidates.append(len(candidates) - before)
     return candidates
 
 
@@ -323,7 +319,6 @@ def find_implication_rules_partitioned(
     matrix: BinaryMatrix,
     minconf,
     n_partitions: int = 4,
-    candidate_log: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
     stats: Optional[PipelineStats] = None,
     observer=None,
@@ -335,13 +330,15 @@ def find_implication_rules_partitioned(
     storage=None,
     transport=None,
     nodes: int = 0,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """Mine implication rules by partitioned candidate generation.
 
     Produces exactly the rules of
     :func:`repro.core.dmc_imp.find_implication_rules`.  Per-partition
-    candidate counts land on ``stats.partition_candidates`` (and on the
-    deprecated ``candidate_log`` list if given); with ``n_workers > 1``
+    candidate counts land on ``stats.partition_candidates``; with
+    ``n_workers > 1``
     partitions are mined on supervised spawn workers
     (:class:`repro.runtime.supervisor.Supervisor`): crashed or hung
     workers are respawned, failed partitions retry ``task_retries``
@@ -363,9 +360,13 @@ def find_implication_rules_partitioned(
     ``stats.lease_expiries`` / ``stats.node_redispatches`` /
     ``stats.node_results_deduped``, and degradation-ladder steps on
     ``stats.degradations``.
+
+    ``scan_engine="vector"`` mines each partition with the blocked
+    numpy engine (:mod:`repro.core.vector`) instead of the serial scan;
+    ``vector_block_rows`` tunes its batch size.  The rule set is
+    identical either way.
     """
     minconf = as_fraction(minconf)
-    sinks = _resolve_logs(candidate_log, stats)
     if stats is None:
         stats = PipelineStats()
     if observer is None:
@@ -377,11 +378,12 @@ def find_implication_rules_partitioned(
     ):
         candidates = _local_candidates(
             matrix, minconf, n_partitions, "implication", n_workers,
-            sinks, stats, observer,
+            stats, observer,
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
             worker_faults=worker_faults, storage=storage,
             transport=transport, nodes=nodes,
+            scan_engine=scan_engine, vector_block_rows=vector_block_rows,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections
@@ -415,7 +417,6 @@ def find_similarity_rules_partitioned(
     matrix: BinaryMatrix,
     minsim,
     n_partitions: int = 4,
-    candidate_log: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
     stats: Optional[PipelineStats] = None,
     observer=None,
@@ -427,18 +428,19 @@ def find_similarity_rules_partitioned(
     storage=None,
     transport=None,
     nodes: int = 0,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """Mine similarity rules by partitioned candidate generation.
 
     Produces exactly the rules of
     :func:`repro.core.dmc_sim.find_similarity_rules`.  ``stats``,
-    ``candidate_log``, ``observer`` and the supervised-runtime knobs
+    ``observer``, ``scan_engine`` and the supervised-runtime knobs
     (``task_timeout`` / ``task_retries`` / ``ledger_dir`` /
     ``supervise``) behave as in
     :func:`find_implication_rules_partitioned`.
     """
     minsim = as_fraction(minsim)
-    sinks = _resolve_logs(candidate_log, stats)
     if stats is None:
         stats = PipelineStats()
     if observer is None:
@@ -450,11 +452,12 @@ def find_similarity_rules_partitioned(
     ):
         candidates = _local_candidates(
             matrix, minsim, n_partitions, "similarity", n_workers,
-            sinks, stats, observer,
+            stats, observer,
             task_timeout=task_timeout, task_retries=task_retries,
             ledger_dir=ledger_dir, supervise=supervise,
             worker_faults=worker_faults, storage=storage,
             transport=transport, nodes=nodes,
+            scan_engine=scan_engine, vector_block_rows=vector_block_rows,
         )
 
     from repro.baselines.bruteforce import pairwise_intersections

@@ -18,6 +18,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.rules import (
     ImplicationRule,
     SimilarityRule,
@@ -86,6 +88,65 @@ class PairPolicy:
         """Return the final rule for a surviving pair, or None if invalid."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Array twins, consumed by the vector engine (repro.core.vector).
+    # Each must agree pair-for-pair with its scalar counterpart above;
+    # the parity tests sweep both forms against each other.
+    # ------------------------------------------------------------------
+
+    def ones_array(self) -> np.ndarray:
+        """``ones`` as an int64 vector (cached)."""
+        cached = getattr(self, "_ones_array", None)
+        if cached is None:
+            cached = np.asarray(self.ones, dtype=np.int64)
+            self._ones_array = cached
+        return cached
+
+    def eligible_mask(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        """Array twin of :meth:`eligible` (canonical order by default)."""
+        ones = self.ones_array()
+        ones_j = ones[owners]
+        ones_k = ones[cands]
+        return (ones_j < ones_k) | ((ones_j == ones_k) & (owners < cands))
+
+    def budget_array(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        """Array twin of :meth:`pair_budget`."""
+        raise NotImplementedError
+
+    def add_cutoff_array(self) -> np.ndarray:
+        """:meth:`add_cutoff` evaluated for every column at once."""
+        raise NotImplementedError
+
+    def dynamic_prune_mask(
+        self,
+        owners: np.ndarray,
+        cands: np.ndarray,
+        misses: np.ndarray,
+        counts: np.ndarray,
+        budgets: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Array twin of :meth:`dynamic_prune`, or None when the policy
+        has no dynamic prune (lets the engine skip the sweep term).
+
+        ``counts`` is the full per-column count vector at the sweep
+        point; ``budgets`` the pair budgets cached at admission.
+        """
+        return None
+
+    def valid_mask(
+        self, owners: np.ndarray, cands: np.ndarray, misses: np.ndarray
+    ) -> np.ndarray:
+        """Array twin of the final :meth:`make_rule` validity test."""
+        raise NotImplementedError
+
+    def vector_ready(self) -> bool:
+        """Whether the int64 array twins are exact for this instance."""
+        return True
+
 
 class ImplicationPolicy(PairPolicy):
     """Confidence-threshold mining of ``c_j => c_k`` (Algorithm 3.1).
@@ -117,6 +178,27 @@ class ImplicationPolicy(PairPolicy):
             hits=ones_j - misses,
             ones=ones_j,
         )
+
+    def maxmiss_array(self) -> np.ndarray:
+        """``maxmiss`` as an int64 vector (cached)."""
+        cached = getattr(self, "_maxmiss_array", None)
+        if cached is None:
+            cached = np.asarray(self.maxmiss, dtype=np.int64)
+            self._maxmiss_array = cached
+        return cached
+
+    def budget_array(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        return self.maxmiss_array()[owners]
+
+    def add_cutoff_array(self) -> np.ndarray:
+        return self.maxmiss_array()
+
+    def valid_mask(
+        self, owners: np.ndarray, cands: np.ndarray, misses: np.ndarray
+    ) -> np.ndarray:
+        return misses <= self.maxmiss_array()[owners]
 
 
 class HundredPercentPolicy(ImplicationPolicy):
@@ -207,6 +289,66 @@ class SimilarityPolicy(PairPolicy):
             union=union,
         )
 
+    def eligible_mask(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        mask = super().eligible_mask(owners, cands)
+        if self.use_density_pruning:
+            ones = self.ones_array()
+            mask &= ones[owners] * self._q >= self._p * ones[cands]
+        return mask
+
+    def budget_array(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        if not self.use_density_pruning:
+            return self.add_cutoff_array()[owners]
+        ones = self.ones_array()
+        return (self._q * ones[owners] - self._p * ones[cands]) // (
+            self._p + self._q
+        )
+
+    def add_cutoff_array(self) -> np.ndarray:
+        cached = getattr(self, "_add_cutoff_array", None)
+        if cached is None:
+            ones = self.ones_array()
+            cached = (ones * (self._q - self._p)) // (self._p + self._q)
+            self._add_cutoff_array = cached
+        return cached
+
+    def dynamic_prune_mask(
+        self,
+        owners: np.ndarray,
+        cands: np.ndarray,
+        misses: np.ndarray,
+        counts: np.ndarray,
+        budgets: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        if not self.use_max_hits_pruning:
+            return None
+        ones = self.ones_array()
+        shortfall = (ones[owners] - counts[owners]) - (
+            ones[cands] - counts[cands]
+        )
+        np.maximum(shortfall, 0, out=shortfall)
+        return misses + shortfall > budgets
+
+    def valid_mask(
+        self, owners: np.ndarray, cands: np.ndarray, misses: np.ndarray
+    ) -> np.ndarray:
+        ones = self.ones_array()
+        intersection = ones[owners] - misses
+        union = ones[cands] + misses
+        return (union > 0) & (intersection * self._q >= self._p * union)
+
+    def vector_ready(self) -> bool:
+        # The array twins do the p/q cross-multiplications in int64;
+        # pathological Fraction thresholds with astronomically large
+        # terms must stay on the exact arbitrary-precision scalar path.
+        scale = max(self._p, self._q, 1)
+        magnitude = 2 * max(self.ones, default=1) + 1
+        return scale <= (2**62) // max(magnitude, 1)
+
 
 class IdentityPolicy(PairPolicy):
     """100%-similarity (identical columns) — DMC-sim step 2.
@@ -239,3 +381,22 @@ class IdentityPolicy(PairPolicy):
             intersection=ones_j,
             union=ones_j,
         )
+
+    def eligible_mask(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        ones = self.ones_array()
+        return (ones[owners] == ones[cands]) & (owners < cands)
+
+    def budget_array(
+        self, owners: np.ndarray, cands: np.ndarray
+    ) -> np.ndarray:
+        return np.zeros(len(owners), dtype=np.int64)
+
+    def add_cutoff_array(self) -> np.ndarray:
+        return np.zeros(len(self.ones), dtype=np.int64)
+
+    def valid_mask(
+        self, owners: np.ndarray, cands: np.ndarray, misses: np.ndarray
+    ) -> np.ndarray:
+        return misses == 0

@@ -163,6 +163,25 @@ class ScanStats:
         if memory_bytes > self.peak_bytes:
             self.peak_bytes = memory_bytes
 
+    def record_block(
+        self, n_rows: int, entries: int, memory_bytes: int
+    ) -> None:
+        """Record state after a block of rows (vectorized scans).
+
+        The block-end value stands in for every row of the block, so
+        ``rows_scanned`` and the history lengths stay row-granular and
+        comparable with the serial engine's curves.
+        """
+        if n_rows <= 0:
+            return
+        self.rows_scanned += n_rows
+        self.candidate_history.extend([entries] * n_rows)
+        self.memory_history.extend([memory_bytes] * n_rows)
+        if entries > self.peak_entries:
+            self.peak_entries = entries
+        if memory_bytes > self.peak_bytes:
+            self.peak_bytes = memory_bytes
+
     def merge_peaks(self, other: "ScanStats") -> None:
         """Fold another scan's peaks and counters into this one."""
         self.peak_entries = max(self.peak_entries, other.peak_entries)
@@ -287,8 +306,15 @@ class PipelineStats:
     columns_removed: int = 0
     rules_hundred_percent: int = 0
     rules_partial: int = 0
+    #: Resolved engine that actually ran (``"dmc"``, ``"vector"``,
+    #: ``"stream"``, ``"partitioned"``, ``"partitioned+vector"``...);
+    #: None when the run predates engine recording or bypassed
+    #: ``repro.mine()``.
+    engine: Optional[str] = None
+    #: Rows per block of the vector engine (None for serial engines).
+    vector_block_rows: Optional[int] = None
     #: New candidate pairs contributed by each partition (partitioned
-    #: mining only; replaces the deprecated ``candidate_log=`` kwarg).
+    #: mining only).
     partition_candidates: List[int] = field(default_factory=list)
     #: Dead or hung workers the supervised runtime replaced.
     worker_restarts: int = 0
@@ -355,6 +381,8 @@ class PipelineStats:
             "columns_removed": self.columns_removed,
             "rules_hundred_percent": self.rules_hundred_percent,
             "rules_partial": self.rules_partial,
+            "engine": self.engine,
+            "vector_block_rows": self.vector_block_rows,
             "partition_candidates": list(self.partition_candidates),
             "worker_restarts": self.worker_restarts,
             "task_retries": self.task_retries,
@@ -380,6 +408,8 @@ class PipelineStats:
             columns_removed=record.get("columns_removed", 0),
             rules_hundred_percent=record.get("rules_hundred_percent", 0),
             rules_partial=record.get("rules_partial", 0),
+            engine=record.get("engine"),
+            vector_block_rows=record.get("vector_block_rows"),
             partition_candidates=list(
                 record.get("partition_candidates", [])
             ),

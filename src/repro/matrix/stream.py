@@ -494,12 +494,16 @@ def _scan_spill(
     zero_miss: bool = False,
     guard=None,
     observer=None,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> None:
     """Pass 2: stream the spilled rows through the scan engine.
 
     Rows flow straight from the bucket files into the engine — nothing
     is materialized except the counter array (and, after a bitmap
-    switch, the remaining tail rows, exactly as in Algorithm 4.1).
+    switch, the remaining tail rows, exactly as in Algorithm 4.1) plus,
+    under ``scan_engine="vector"``, one block of rows at a time.  The
+    zero-miss pass always runs serial regardless of ``scan_engine``.
     """
     from repro.core.miss_counting import (
         miss_counting_scan_rows,
@@ -518,7 +522,16 @@ def _scan_spill(
 
     retries_before = spill.io_retries
     spill.observer = observer
-    scan = zero_miss_scan_rows if zero_miss else miss_counting_scan_rows
+    extra = {}
+    if zero_miss:
+        scan = zero_miss_scan_rows
+    elif scan_engine == "vector":
+        from repro.core.vector import vector_scan_rows
+
+        scan = vector_scan_rows
+        extra["block_rows"] = vector_block_rows
+    else:
+        scan = miss_counting_scan_rows
     scan(
         replay(),
         spill.rows_spilled,
@@ -528,6 +541,7 @@ def _scan_spill(
         rules=rules,
         guard=guard,
         observer=observer,
+        **extra,
     )
     stats.io_retries += spill.io_retries - retries_before
 
@@ -566,6 +580,8 @@ def _in_memory_fallback(
     guard,
     stats: PipelineStats,
     observer,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """Redo a mine entirely in memory (the spill degradation target).
 
@@ -584,7 +600,10 @@ def _in_memory_fallback(
         matrix = BinaryMatrix(
             source.iter_rows(), n_columns=source.n_columns()
         )
-    options = dc_replace(PruningOptions(), bitmap=bitmap, memory_guard=guard)
+    options = dc_replace(
+        PruningOptions(), bitmap=bitmap, memory_guard=guard,
+        scan_engine=scan_engine, vector_block_rows=vector_block_rows,
+    )
     with observer.span("in-memory-fallback"):
         if kind == "implication":
             return find_implication_rules(
@@ -610,6 +629,8 @@ def _stream_rules(
     storage=None,
     spill_degrade: bool = True,
     preflight: bool = False,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """The shared two-pass pipeline behind both stream entry points.
 
@@ -633,6 +654,7 @@ def _stream_rules(
         return _stream_rules_on_disk(
             source, threshold, kind, bitmap, spill_dir, checkpoint_dir,
             guard, stats, observer, storage, preflight,
+            scan_engine, vector_block_rows,
         )
     except OSError as error:
         if not terminal_io_error(error):
@@ -650,7 +672,8 @@ def _stream_rules(
             stacklevel=2,
         )
         return _in_memory_fallback(
-            source, threshold, kind, bitmap, guard, stats, observer
+            source, threshold, kind, bitmap, guard, stats, observer,
+            scan_engine=scan_engine, vector_block_rows=vector_block_rows,
         )
 
 
@@ -666,6 +689,8 @@ def _stream_rules_on_disk(
     observer,
     storage,
     preflight: bool,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """One on-disk two-pass attempt (checkpointing degrades to off in
     place; terminal spill faults propagate to :func:`_stream_rules`)."""
@@ -829,6 +854,8 @@ def _stream_rules_on_disk(
                         keep=keep,
                         guard=guard,
                         observer=observer,
+                        scan_engine=scan_engine,
+                        vector_block_rows=vector_block_rows,
                     )
                 stats.rules_partial = len(rules) - stats.rules_hundred_percent
     finally:
@@ -862,6 +889,8 @@ def stream_implication_rules(
     storage=None,
     spill_degrade: bool = True,
     preflight: bool = False,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """Two-pass DMC-imp over a streaming source.
 
@@ -890,11 +919,17 @@ def stream_implication_rules(
     :class:`~repro.runtime.storage.StorageFull` instead).
     ``preflight=True`` checks free disk space against the estimated
     spill footprint before pass 1 starts.
+
+    ``scan_engine="vector"`` replays pass 2's <100% scan through the
+    blocked numpy engine (:mod:`repro.core.vector`) instead of the
+    row-at-a-time loop; ``vector_block_rows`` tunes its batch size.
+    The rule set is identical either way.
     """
     return _stream_rules(
         source, minconf, "implication", bitmap, spill_dir,
         checkpoint_dir, guard, stats, observer,
         storage=storage, spill_degrade=spill_degrade, preflight=preflight,
+        scan_engine=scan_engine, vector_block_rows=vector_block_rows,
     )
 
 
@@ -910,16 +945,19 @@ def stream_similarity_rules(
     storage=None,
     spill_degrade: bool = True,
     preflight: bool = False,
+    scan_engine: str = "serial",
+    vector_block_rows: Optional[int] = None,
 ) -> RuleSet:
     """Two-pass DMC-sim over a streaming source.
 
     Equivalent to :func:`repro.core.dmc_sim.find_similarity_rules`.
-    Checkpointing, validation, guarding, stats, observer, storage and
-    the degradation ladder behave exactly as in
+    Checkpointing, validation, guarding, stats, observer, storage,
+    ``scan_engine`` and the degradation ladder behave exactly as in
     :func:`stream_implication_rules`.
     """
     return _stream_rules(
         source, minsim, "similarity", bitmap, spill_dir,
         checkpoint_dir, guard, stats, observer,
         storage=storage, spill_degrade=spill_degrade, preflight=preflight,
+        scan_engine=scan_engine, vector_block_rows=vector_block_rows,
     )

@@ -225,6 +225,8 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
     curves: Dict[str, Dict[int, Tuple[int, int, int, int]]] = {}
     curve_orders: Dict[str, List[int]] = {}
     run_id = None
+    engine = None
+    vector_block_rows = None
     first_ts = last_ts = None
     rules_final = None
     for record in read_journal(path, storage=storage):
@@ -237,7 +239,12 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
             if first_ts is None:
                 first_ts = ts
             last_ts = ts
-        if event == "phase-start":
+        if event == "run-start":
+            engine = record.get("engine", engine)
+            vector_block_rows = record.get(
+                "vector_block_rows", vector_block_rows
+            )
+        elif event == "phase-start":
             phases.append({"name": record.get("name"), "seconds": None})
         elif event == "phase-end":
             for phase in reversed(phases):
@@ -267,6 +274,8 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
     return {
         "version": JOURNAL_VERSION,
         "run_id": run_id,
+        "engine": engine,
+        "vector_block_rows": vector_block_rows,
         "events": event_counts,
         "phases": phases,
         "incidents": incidents,

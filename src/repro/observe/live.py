@@ -23,6 +23,8 @@ class LiveRunStatus:
         self.started_at = time.time()
         self.started_monotonic = time.monotonic()
         self.phase: str = "starting"
+        #: Resolved engine name (set by ``mine()`` from its EnginePlan).
+        self.engine: Optional[str] = None
         self.rows_scanned: int = 0
         self.live_candidates: int = 0
         self.rules_emitted: int = 0
@@ -93,6 +95,7 @@ class LiveRunStatus:
             "started_at": self.started_at,
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "phase": self.phase,
+            "engine": self.engine,
             "rows_scanned": self.rows_scanned,
             "live_candidates": self.live_candidates,
             "rules_emitted": self.rules_emitted,

@@ -245,6 +245,7 @@ def mine_with_memory_budget(
     storage=None,
     stats=None,
     observer=None,
+    options=None,
 ):
     """Mine with a hard memory budget, degrading to partitioned mining.
 
@@ -263,6 +264,10 @@ def mine_with_memory_budget(
     fallback's phases.  ``task_timeout`` / ``task_retries`` /
     ``ledger_dir`` tune the supervised runtime of the fallback (see
     :func:`repro.core.partitioned.find_implication_rules_partitioned`).
+    ``options`` (a :class:`~repro.core.dmc_imp.PruningOptions`) seeds
+    the DMC attempt — its ``memory_guard`` is replaced by this budget's
+    guard, and its ``scan_engine`` / ``vector_block_rows`` carry over
+    to the partitioned fallback.
 
     Returns ``(rules, engine)`` where ``engine`` is ``"dmc"`` or
     ``"partitioned"``.
@@ -283,7 +288,9 @@ def mine_with_memory_budget(
     if observer is None:
         observer = NULL_OBSERVER
     guard = MemoryGuard(budget_bytes, action="raise")
-    options = replace(PruningOptions(), memory_guard=guard)
+    if options is None:
+        options = PruningOptions()
+    options = replace(options, memory_guard=guard)
     attempt_stats = stats if stats is not None else PipelineStats()
     try:
         with observer.span("dmc-attempt", budget_bytes=budget_bytes):
@@ -308,18 +315,17 @@ def mine_with_memory_budget(
         "partitioned-fallback", budget_exceeded=True,
         tripped_at=guard.tripped_at,
     ):
-        if kind == "implication":
-            rules = find_implication_rules_partitioned(
-                matrix, threshold, n_partitions=n_partitions,
-                n_workers=n_workers, task_timeout=task_timeout,
-                task_retries=task_retries, ledger_dir=ledger_dir,
-                storage=storage, stats=stats, observer=observer,
-            )
-        else:
-            rules = find_similarity_rules_partitioned(
-                matrix, threshold, n_partitions=n_partitions,
-                n_workers=n_workers, task_timeout=task_timeout,
-                task_retries=task_retries, ledger_dir=ledger_dir,
-                storage=storage, stats=stats, observer=observer,
-            )
+        partitioner = (
+            find_implication_rules_partitioned
+            if kind == "implication"
+            else find_similarity_rules_partitioned
+        )
+        rules = partitioner(
+            matrix, threshold, n_partitions=n_partitions,
+            n_workers=n_workers, task_timeout=task_timeout,
+            task_retries=task_retries, ledger_dir=ledger_dir,
+            storage=storage, stats=stats, observer=observer,
+            scan_engine=options.scan_engine,
+            vector_block_rows=options.vector_block_rows,
+        )
     return rules, "partitioned"

@@ -72,7 +72,7 @@ class TestEquivalence:
         assert rules_to_json(result.rules) == rules_to_json(legacy)
 
     def test_matches_partitioned_implication(self, matrix):
-        result = mine(matrix, minconf=0.9, partitioned=True, n_partitions=3)
+        result = mine(matrix, minconf=0.9, engine="partitioned", n_partitions=3)
         legacy = find_implication_rules_partitioned(
             matrix, 0.9, n_partitions=3
         )
@@ -81,7 +81,7 @@ class TestEquivalence:
         assert len(result.stats.partition_candidates) == 3
 
     def test_matches_partitioned_similarity(self, matrix):
-        result = mine(matrix, minsim=0.6, partitioned=True)
+        result = mine(matrix, minsim=0.6, engine="partitioned")
         legacy = find_similarity_rules_partitioned(matrix, 0.6)
         assert result.engine == "partitioned"
         assert rules_to_json(result.rules) == rules_to_json(legacy)
@@ -178,22 +178,24 @@ class TestResult:
 
 
 class TestDeprecations:
-    def test_candidate_log_warns_but_works(self, matrix):
-        log = []
-        with pytest.warns(DeprecationWarning, match="candidate_log"):
-            rules = find_implication_rules_partitioned(
-                matrix, 0.9, n_partitions=2, candidate_log=log
-            )
-        assert len(log) == 2
-        assert rules.pairs() == find_implication_rules(matrix, 0.9).pairs()
-
-    def test_stats_replaces_candidate_log(self, matrix):
-        from repro.core.stats import PipelineStats
-
-        log = []
-        stats = PipelineStats()
-        with pytest.warns(DeprecationWarning):
+    def test_candidate_log_kwarg_removed(self, matrix):
+        with pytest.raises(TypeError, match="candidate_log"):
             find_implication_rules_partitioned(
-                matrix, 0.9, n_partitions=2, candidate_log=log, stats=stats
+                matrix, 0.9, n_partitions=2, candidate_log=[]
             )
-        assert stats.partition_candidates == log
+
+    def test_partitioned_flag_warns_but_works(self, matrix):
+        with pytest.warns(DeprecationWarning, match="engine='partitioned'"):
+            result = mine(matrix, minconf=0.9, partitioned=True)
+        assert result.engine == "partitioned"
+        assert result.rules.pairs() == find_implication_rules(
+            matrix, 0.9
+        ).pairs()
+
+    def test_explicit_engine_does_not_warn(self, matrix):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = mine(matrix, minconf=0.9, engine="partitioned")
+        assert result.engine == "partitioned"

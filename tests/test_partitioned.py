@@ -95,32 +95,20 @@ class TestImplication:
         want = implication_rules_bruteforce(matrix, 0.6).pairs()
         assert got == want
 
-    def test_candidate_log(self):
-        matrix = random_binary_matrix(1)
-        log = []
-        with pytest.warns(DeprecationWarning):
-            find_implication_rules_partitioned(
-                matrix, 0.8, n_partitions=3, candidate_log=log
-            )
-        assert len(log) == 3
-
-    def test_candidate_log_matches_stats(self):
-        """The deprecated shim and stats see the same per-partition
-        counts, and both mine the same rules as the plain call."""
+    def test_partition_candidate_counts_on_stats(self):
         from repro.core.stats import PipelineStats
 
         matrix = random_binary_matrix(4)
-        log = []
         stats = PipelineStats()
-        with pytest.warns(DeprecationWarning):
-            shimmed = find_implication_rules_partitioned(
-                matrix, 0.8, n_partitions=3, candidate_log=log, stats=stats
-            ).pairs()
-        assert log == stats.partition_candidates
+        counted = find_implication_rules_partitioned(
+            matrix, 0.8, n_partitions=3, stats=stats
+        ).pairs()
+        assert len(stats.partition_candidates) == 3
+        assert all(count >= 0 for count in stats.partition_candidates)
         plain = find_implication_rules_partitioned(
             matrix, 0.8, n_partitions=3
         ).pairs()
-        assert shimmed == plain
+        assert counted == plain
 
 
 class TestSimilarity:
@@ -145,12 +133,13 @@ class TestSimilarity:
                 sets[rule.first] & sets[rule.second]
             )
 
-    def test_candidate_log_deprecation_shim(self):
-        matrix = random_binary_matrix(3)
-        log = []
-        with pytest.warns(DeprecationWarning):
-            find_similarity_rules_partitioned(
-                matrix, 0.5, n_partitions=3, candidate_log=log
-            )
-        assert len(log) == 3
-        assert all(count >= 0 for count in log)
+    def test_vector_scan_engine_matches_serial(self):
+        for seed in range(4):
+            matrix = random_binary_matrix(seed)
+            serial = find_similarity_rules_partitioned(
+                matrix, 0.5, n_partitions=3
+            ).pairs()
+            vector = find_similarity_rules_partitioned(
+                matrix, 0.5, n_partitions=3, scan_engine="vector"
+            ).pairs()
+            assert vector == serial, seed

@@ -408,7 +408,7 @@ class TestFacade:
         matrix = _matrix(rows=60, cols=12)
         want = find_implication_rules(matrix, 0.7).pairs()
         result = repro.mine(
-            matrix, minconf=0.7, partitioned=True, n_partitions=3,
+            matrix, minconf=0.7, engine="partitioned", n_partitions=3,
             n_workers=2, task_retries=1,
             ledger_dir=str(tmp_path / "ledger"),
         )
