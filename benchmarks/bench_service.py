@@ -1,0 +1,142 @@
+"""Mining-as-a-service latency: HTTP roundtrip vs direct library call.
+
+Two measurements bound what the service layer costs:
+
+- ``test_direct_mine`` — the baseline: ``repro.mine()`` on the same
+  workload in-process, plus the JSON export the service would commit;
+- ``test_service_roundtrip`` — submit-to-result through the full job
+  runtime: ``POST /jobs`` over HTTP, the scheduler picking the job up
+  on a worker slot, the durable index transitions, the first-writer
+  result commit, and the polling ``GET`` until ``done`` plus the
+  result fetch.
+
+The difference is the price of durability + multi-tenancy for one
+small job (index writes, journal appends, HTTP hops, poll latency).
+Every roundtrip asserts the service's committed rules are byte-
+identical to the direct mine — the numbers never describe a run that
+cut corners.
+"""
+
+import itertools
+import json
+import shutil
+import tempfile
+import time
+import urllib.request
+
+import pytest
+
+import repro
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.mining.export import rules_to_json
+from repro.service import MiningService
+
+THRESHOLD = "3/4"
+N_SLOTS = 2
+POLL_INTERVAL = 0.005
+ROUNDTRIP_DEADLINE = 120.0
+
+
+@pytest.fixture(scope="module")
+def transactions():
+    import random
+
+    rng = random.Random(BENCH_SEED + 23)
+    rows = max(150, int(3000 * BENCH_SCALE))
+    items = [f"item-{k:03d}" for k in range(60)]
+    data = []
+    for _ in range(rows):
+        row = set(rng.sample(items, rng.randint(2, 6)))
+        # Plant a high-confidence implication so the mined rule set is
+        # non-empty and the exactness assertion has teeth.
+        if "item-000" in row and rng.random() < 0.9:
+            row.add("item-001")
+        data.append(sorted(row))
+    return data
+
+
+def canonical(result_text):
+    """The rules of a result document, stats stripped, key-sorted."""
+    return json.dumps(json.loads(result_text)["rules"], sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def direct_rules(transactions):
+    result = repro.mine(
+        repro.BinaryMatrix.from_transactions(transactions),
+        task="implication", threshold=THRESHOLD,
+    )
+    return canonical(
+        rules_to_json(result.rules, vocabulary=result.vocabulary)
+    )
+
+
+def test_direct_mine(benchmark, transactions, direct_rules):
+    """Baseline: the library call the service wraps."""
+
+    def direct():
+        result = repro.mine(
+            repro.BinaryMatrix.from_transactions(transactions),
+            task="implication", threshold=THRESHOLD,
+        )
+        return rules_to_json(result.rules, vocabulary=result.vocabulary)
+
+    text = benchmark.pedantic(direct, rounds=5, iterations=1)
+    assert canonical(text) == direct_rules
+    benchmark.extra_info["rules"] = len(json.loads(text)["rules"])
+
+
+def _http(method, url, body=None):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.read().decode("utf-8")
+
+
+def test_service_roundtrip(benchmark, transactions, direct_rules):
+    """Submit-to-result over HTTP through the durable job runtime."""
+    state_dir = tempfile.mkdtemp(prefix="bench-service-")
+    counter = itertools.count()
+    try:
+        with MiningService(
+            state_dir, serve=True, n_slots=N_SLOTS
+        ) as service:
+            base = service.server.url
+
+            def roundtrip():
+                job_id = f"bench-{next(counter):04d}"
+                _http("POST", f"{base}/jobs", {
+                    "job_id": job_id,
+                    "task": "implication",
+                    "threshold": THRESHOLD,
+                    "data": {"transactions": transactions},
+                })
+                deadline = time.monotonic() + ROUNDTRIP_DEADLINE
+                while True:
+                    job = json.loads(
+                        _http("GET", f"{base}/jobs/{job_id}")
+                    )
+                    if job["state"] == "done":
+                        break
+                    assert job["state"] in ("queued", "running"), job
+                    assert time.monotonic() < deadline, "job stuck"
+                    time.sleep(POLL_INTERVAL)
+                return _http("GET", f"{base}/jobs/{job_id}/result")
+
+            text = benchmark.pedantic(roundtrip, rounds=5, iterations=1)
+            assert canonical(text) == direct_rules
+            benchmark.extra_info["rules"] = len(
+                json.loads(text)["rules"]
+            )
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

@@ -251,6 +251,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=20, metavar="N",
         help="events to print with tail (default 20; 0 for all)",
     )
+    journal.add_argument(
+        "--follow", "-f", action="store_true",
+        help="after printing the tail, keep following the journal as "
+             "it grows (tail -F: survives truncation and rotation; "
+             "stop with Ctrl-C)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the mining service: a durable job runtime with a "
+             "REST API (POST /jobs, GET /jobs/<id>, ...)",
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable service state (job index, results, work dirs, "
+             "service journal); reused across restarts",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port (default 0: pick an ephemeral port; the chosen "
+             "URL is printed and written to <state-dir>/service.url)",
+    )
+    serve.add_argument(
+        "--slots", type=int, default=2, metavar="N",
+        help="concurrent job slots (default 2)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="N",
+        help="per-tenant running-job cap (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="per-tenant queued-job cap; further submits get 429 "
+             "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="largest admissible job by row count (default: unlimited)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock limit (a spec's "
+             "timeout_seconds overrides; default: none)",
+    )
+    serve.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="default per-job counter-array budget; jobs degrade to "
+             "the partitioned engine instead of exceeding it "
+             "(default: none)",
+    )
+    serve.add_argument(
+        "--min-free-bytes", type=int, default=None, metavar="BYTES",
+        help="refuse new jobs (429) while the state dir's filesystem "
+             "has less free space than this (default: no disk gate)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM, seconds running jobs get to finish before "
+             "being re-queued for the next boot (default 30)",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="write a synthetic data set as a transactions file"
@@ -506,8 +570,24 @@ def _journal(args: argparse.Namespace) -> int:
 
     try:
         if args.action == "tail":
-            for record in tail_journal(args.path, count=args.count):
-                print(json.dumps(record, separators=(",", ":")))
+            try:
+                for record in tail_journal(args.path, count=args.count):
+                    print(json.dumps(record, separators=(",", ":")))
+            except FileNotFoundError:
+                if not args.follow:
+                    raise
+                # --follow waits for the journal to appear.
+            if args.follow:
+                from repro.observe import follow_journal
+
+                try:
+                    for record in follow_journal(args.path, from_end=True):
+                        print(
+                            json.dumps(record, separators=(",", ":")),
+                            flush=True,
+                        )
+                except KeyboardInterrupt:
+                    pass
             return 0
         summary = summarize_journal(args.path)
     except (OSError, ValueError) as error:
@@ -613,6 +693,45 @@ def _agent(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service import MiningService, QuotaPolicy, TenantQuota
+
+    policy = QuotaPolicy(
+        default=TenantQuota(
+            max_concurrent=args.max_concurrent,
+            max_queued=args.max_queued,
+            max_rows=args.max_rows,
+        )
+    )
+    service = MiningService(
+        args.state_dir,
+        policy=policy,
+        n_slots=args.slots,
+        serve=True,
+        port=args.port,
+        host=args.host,
+        default_memory_budget=args.memory_budget,
+        default_timeout=args.job_timeout,
+        min_free_bytes=args.min_free_bytes,
+    )
+    recovery = service.recovery
+    if recovery.completed or recovery.requeued or recovery.queued:
+        print(
+            f"recovered: {len(recovery.completed)} completed, "
+            f"{len(recovery.requeued)} re-queued, "
+            f"{len(recovery.queued)} still queued",
+            flush=True,
+        )
+    print(f"serving on {service.server.url} (state: {args.state_dir})",
+          flush=True)
+    try:
+        service.serve_forever(drain_timeout=args.drain_timeout)
+    except KeyboardInterrupt:
+        service.drain(timeout=args.drain_timeout)
+        service.close()
+    return 0
+
+
 def _check(args: argparse.Namespace) -> int:
     from repro.experiments.shapes import render_scorecard, run_all_checks
 
@@ -641,6 +760,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _journal(args)
     if args.command == "agent":
         return _agent(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "generate":
         return _generate(args)
     if args.command == "report":

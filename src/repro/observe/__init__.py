@@ -46,6 +46,7 @@ from repro.observe.exporters import (
 )
 from repro.observe.journal import (
     RunJournal,
+    follow_journal,
     read_journal,
     summarize_journal,
     tail_journal,
@@ -85,6 +86,7 @@ __all__ = [
     "RunObserver",
     "Span",
     "Tracer",
+    "follow_journal",
     "load_metrics",
     "load_trace",
     "metrics_delta",

@@ -208,6 +208,107 @@ def tail_journal(
     return records[-count:] if count else records
 
 
+#: Seconds :func:`follow_journal` sleeps between polls of a quiet file.
+FOLLOW_POLL_INTERVAL = 0.2
+
+
+def follow_journal(
+    path: str,
+    poll_interval: float = FOLLOW_POLL_INTERVAL,
+    stop=None,
+    from_end: bool = False,
+) -> Iterator[Dict[str, object]]:
+    """Yield journal records as they are appended (``tail -F``).
+
+    Unlike a naive follower this survives the two ways a journal file
+    can change out from under its reader:
+
+    - **rotation** — the path now names a different file (the inode or
+      device changed: the old journal was renamed away and a new run
+      opened a fresh one).  The follower finishes nothing (rotation is
+      detected between lines), reopens the path and continues from the
+      new file's start.
+    - **truncation** — the file shrank below the follower's position
+      (the journal was truncated in place).  The follower seeks back
+      to the start and replays the new content.
+
+    A partially written final line (the writer fsyncs in batches; a
+    reader can observe a torn tail) is buffered until its newline
+    arrives — records are only ever yielded whole.  Lines that never
+    become valid JSON are skipped once their newline arrives, so a
+    crashed writer's torn tail does not wedge the follower.
+
+    ``stop`` is an optional zero-argument callable polled between
+    reads; returning True ends the iteration (tests and the CLI's
+    signal handling use it).  A missing file is waited for, so a
+    follower may be started before its writer.  ``from_end=True``
+    starts the *first* open at the current end of file (classic
+    ``tail -f``); reopens after a rotation always start at the new
+    file's beginning.
+    """
+    handle = None
+    buffer = ""
+    first_open = True
+    try:
+        while True:
+            if stop is not None and stop():
+                return
+            if handle is None:
+                try:
+                    handle = open(path, "r", encoding="utf-8")
+                except FileNotFoundError:
+                    time.sleep(poll_interval)
+                    continue
+                if from_end and first_open:
+                    # Journal lines are newline-terminated, so the end
+                    # of file is a line boundary (modulo a torn tail,
+                    # whose completion will fail to parse and be
+                    # skipped like any torn line).
+                    handle.seek(0, os.SEEK_END)
+                first_open = False
+                buffer = ""
+            chunk = handle.read()
+            if chunk:
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        continue  # torn or foreign line: skip it whole
+                continue
+            # Quiet file: check for rotation / truncation before
+            # sleeping.  stat() by path sees the *current* occupant;
+            # fstat() sees what we have open.
+            try:
+                current = os.stat(path)
+            except OSError:
+                # Rotated away with no replacement yet: reopen when
+                # the new file appears.
+                handle.close()
+                handle = None
+                time.sleep(poll_interval)
+                continue
+            opened = os.fstat(handle.fileno())
+            if (current.st_ino, current.st_dev) != (
+                opened.st_ino, opened.st_dev,
+            ):
+                handle.close()
+                handle = None  # rotation: reopen at the new file
+                continue
+            if current.st_size < handle.tell():
+                handle.seek(0)  # truncation: replay from the start
+                buffer = ""
+                continue
+            time.sleep(poll_interval)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
 def summarize_journal(path: str, storage=None) -> Dict[str, object]:
     """Fold a journal into a run summary.
 

@@ -13,20 +13,34 @@ daemon thread and serves three routes:
 - ``/runs/<run_id>`` — the full JSON snapshot of the identified run
   (404 for an unknown id).
 
+Hardening: every accepted connection gets a per-socket timeout
+(:attr:`MetricsServer.connection_timeout`), so a client that connects
+and then never sends a request — or stops reading mid-response —
+stalls only its own handler thread briefly instead of wedging
+``/healthz`` for every other scraper; and non-GET methods are answered
+with ``405`` plus an ``Allow`` header instead of the stdlib's ``501``.
+
 The server binds before the constructor returns (``port=0`` picks an
 ephemeral port, exposed as :attr:`port`), so tests and scripts can
 scrape immediately.  :meth:`close` shuts the listener down and joins
 the thread; the object is also a context manager, and `repro.mine`
 closes it on run completion and on SIGTERM via
 :func:`repro.runtime.supervisor.graceful_interrupts`.
+
+All request routing funnels through :meth:`MetricsServer.
+handle_request` — subclasses (the job API of :class:`repro.service.
+server.ServiceServer`) override it to add routes and methods while
+inheriting the listener, the timeout discipline and the close
+semantics.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.observe.live import LiveRunStatus
 from repro.observe.metrics import MetricsRegistry
@@ -37,6 +51,22 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: Heartbeat age (seconds) past which ``/healthz`` flags a worker.
 WORKER_STALE_SECONDS = 10.0
 
+#: A ``handle_request`` return value:
+#: ``(status, content_type, body_bytes, extra_headers)``.
+Response = Tuple[int, str, bytes, Optional[Dict[str, str]]]
+
+
+def json_response(
+    code: int, document, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    """Build a JSON :data:`Response`."""
+    return (
+        code,
+        "application/json",
+        json.dumps(document).encode("utf-8"),
+        headers,
+    )
+
 
 class MetricsServer:
     """Serve live metrics for one process's runs.
@@ -45,66 +75,88 @@ class MetricsServer:
     feeds ``/healthz`` and is looked up by ``/runs/<run_id>``.
     """
 
+    #: Seconds an accepted connection may sit idle (no request bytes,
+    #: or a stalled read of our response) before its socket times out
+    #: and the handler thread moves on.  One misbehaving client must
+    #: never wedge the other scrapers.
+    connection_timeout: float = 30.0
+
+    #: HTTP methods this server answers; everything else gets ``405``
+    #: with an ``Allow`` header listing these.
+    allow_methods: Tuple[str, ...] = ("GET",)
+
     def __init__(
         self,
         registry: MetricsRegistry,
         port: int = 0,
         host: str = "127.0.0.1",
         status: Optional[LiveRunStatus] = None,
+        connection_timeout: Optional[float] = None,
     ) -> None:
         self.registry = registry
         self.status = status
+        if connection_timeout is not None:
+            self.connection_timeout = connection_timeout
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # socketserver applies this to the connection in setup();
+            # a timed-out read surfaces as socket.timeout and closes
+            # just this connection.
+            timeout = server.connection_timeout
+
             def log_message(self, format, *args):  # noqa: A002
                 pass  # no access-log noise on stderr
 
-            def _send(self, code, content_type, body: bytes) -> None:
+            def _send(self, code, content_type, body: bytes,
+                      headers: Optional[Dict[str, str]] = None) -> None:
                 self.send_response(code)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
-            def do_GET(self):  # noqa: N802
+            def _dispatch(self, method: str) -> None:
                 try:
-                    if self.path == "/metrics":
-                        body = server.registry.to_prometheus().encode(
-                            "utf-8"
-                        )
-                        self._send(200, PROMETHEUS_CONTENT_TYPE, body)
-                    elif self.path == "/healthz":
-                        code, document = server.health()
+                    body = b""
+                    length = self.headers.get("Content-Length")
+                    if length:
+                        body = self.rfile.read(int(length))
+                    code, content_type, payload, headers = (
+                        server.handle_request(method, self.path, body)
+                    )
+                    self._send(code, content_type, payload, headers)
+                except (
+                    BrokenPipeError,
+                    ConnectionResetError,
+                    socket.timeout,
+                ):
+                    pass  # client went away or stalled mid-exchange
+                except ValueError:
+                    try:
                         self._send(
-                            code, "application/json",
-                            json.dumps(document).encode("utf-8"),
+                            400, "application/json",
+                            b'{"error": "malformed request"}',
                         )
-                    elif self.path.startswith("/runs/"):
-                        run_id = self.path[len("/runs/"):]
-                        status = server.status
-                        if status is None or status.run_id != run_id:
-                            self._send(
-                                404, "application/json",
-                                json.dumps(
-                                    {"error": "unknown run",
-                                     "run_id": run_id}
-                                ).encode("utf-8"),
-                            )
-                        else:
-                            self._send(
-                                200, "application/json",
-                                json.dumps(status.snapshot()).encode(
-                                    "utf-8"
-                                ),
-                            )
-                    else:
-                        self._send(
-                            404, "text/plain; charset=utf-8",
-                            b"repro: /metrics /healthz /runs/<run_id>\n",
-                        )
-                except (BrokenPipeError, ConnectionResetError):
-                    pass  # client went away mid-response
+                    except OSError:
+                        pass
+
+            def do_GET(self):  # noqa: N802
+                self._dispatch("GET")
+
+            def do_POST(self):  # noqa: N802
+                self._dispatch("POST")
+
+            def do_PUT(self):  # noqa: N802
+                self._dispatch("PUT")
+
+            def do_PATCH(self):  # noqa: N802
+                self._dispatch("PATCH")
+
+            def do_DELETE(self):  # noqa: N802
+                self._dispatch("DELETE")
 
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self._httpd.daemon_threads = True
@@ -122,6 +174,56 @@ class MetricsServer:
     def url(self) -> str:
         """Base URL of the listener (e.g. ``http://127.0.0.1:8321``)."""
         return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def handle_request(self, method: str, path: str, body: bytes) -> Response:
+        """Route one request; subclasses override to add routes.
+
+        Returns ``(status, content_type, body, extra_headers)``.  The
+        base server is read-only: any non-GET method is ``405``.
+        """
+        if method != "GET":
+            return self.method_not_allowed()
+        return self.handle_get(path)
+
+    def method_not_allowed(self) -> Response:
+        """The ``405`` response, carrying the ``Allow`` header."""
+        return json_response(
+            405,
+            {"error": "method not allowed",
+             "allow": list(self.allow_methods)},
+            headers={"Allow": ", ".join(self.allow_methods)},
+        )
+
+    def handle_get(self, path: str) -> Response:
+        """The read-only routes every server variant carries."""
+        if path == "/metrics":
+            return (
+                200,
+                PROMETHEUS_CONTENT_TYPE,
+                self.registry.to_prometheus().encode("utf-8"),
+                None,
+            )
+        if path == "/healthz":
+            code, document = self.health()
+            return json_response(code, document)
+        if path.startswith("/runs/"):
+            run_id = path[len("/runs/"):]
+            status = self.status
+            if status is None or status.run_id != run_id:
+                return json_response(
+                    404, {"error": "unknown run", "run_id": run_id}
+                )
+            return json_response(200, status.snapshot())
+        return (
+            404,
+            "text/plain; charset=utf-8",
+            b"repro: /metrics /healthz /runs/<run_id>\n",
+            None,
+        )
 
     def health(self):
         """The ``/healthz`` response as ``(status_code, document)``."""

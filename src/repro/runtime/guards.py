@@ -55,6 +55,17 @@ class MemoryBudgetExceeded(MemoryError):
     """The counter array grew past a :class:`MemoryGuard`'s hard budget."""
 
 
+def backoff_delay(attempt: int, base_delay: float) -> float:
+    """The exponential-backoff sleep before retry ``attempt`` (0-based).
+
+    One schedule shared by every retry loop in the runtime —
+    :func:`retry_io` for spill/checkpoint I/O and the job scheduler of
+    :mod:`repro.service` for worker-pool failures — so their latency
+    behavior is documented in one place: ``base_delay * 2**attempt``.
+    """
+    return base_delay * (2 ** attempt)
+
+
 class MemoryGuard:
     """A watchdog over the candidate (counter) array's modelled memory.
 
@@ -165,7 +176,7 @@ def retry_io(
                 raise
             if on_retry is not None:
                 on_retry(error)
-            sleep(base_delay * (2 ** attempt))
+            sleep(backoff_delay(attempt, base_delay))
 
 
 def estimate_spill_bytes(source=None, matrix=None) -> Optional[int]:

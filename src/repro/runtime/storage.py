@@ -213,6 +213,17 @@ class Storage:
     def exists(self, path: str) -> bool:
         return os.path.exists(path)
 
+    def listdir(self, path: str) -> List[str]:
+        """Directory entries (names, unsorted); [] for a missing dir.
+
+        A metadata read, like :meth:`exists` — it cannot change the
+        on-disk state, so it is not counted as a storage operation.
+        """
+        try:
+            return os.listdir(path)
+        except FileNotFoundError:
+            return []
+
     def getsize(self, path: str) -> int:
         return os.path.getsize(path)
 

@@ -94,6 +94,26 @@ class SupervisorError(RuntimeError):
     """A task failed even in the serial quarantine re-run."""
 
 
+def transient_pool_failure(error: BaseException) -> bool:
+    """True when ``error`` is a worker-pool failure a fresh run may cure.
+
+    The job scheduler of :mod:`repro.service` retries a job (with
+    backoff, on a fresh pool) when its mining run died of pool
+    mechanics rather than of the job itself: a :class:`SupervisorError`
+    (the pool *and* the quarantine re-run failed — e.g. the host was
+    briefly out of processes or memory) or a transient ``OSError``
+    (``EAGAIN``/``EIO`` class) from pool plumbing.  Fencing errors
+    (:class:`LedgerFenced` — another coordinator owns the state) and
+    terminal storage faults (disk full / read-only) are *not*
+    transient: retrying cannot change the outcome.
+    """
+    if isinstance(error, LeaseFenced):
+        return False
+    if isinstance(error, SupervisorError):
+        return True
+    return isinstance(error, OSError) and not terminal_io_error(error)
+
+
 class LedgerFenced(LeaseFenced):
     """A stale coordinator wrote to a ledger another process now owns.
 

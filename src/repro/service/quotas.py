@@ -1,0 +1,119 @@
+"""Per-tenant admission quotas for the mining service.
+
+Admission control is the service's memory-hierarchy story applied to
+multi-tenancy: the per-run guards (``memory_budget``, disk preflight)
+bound what one job can do to the host, and the quotas here bound what
+one tenant can do to the queue.  The enforcement is split along the
+job lifecycle:
+
+- :meth:`QuotaPolicy.admit` runs at submit time — ``max_queued``
+  sheds backlog, ``max_rows`` rejects oversized jobs outright;
+- :meth:`QuotaPolicy.may_start` runs inside the scheduler —
+  ``max_concurrent`` caps how many of a tenant's admitted jobs
+  occupy worker slots at once (the rest wait in the queue).
+
+A rejected submit is an :class:`AdmissionError` carrying the HTTP
+status (``429``) and — when the condition is transient, i.e.
+finishing jobs will clear it — a ``Retry-After`` hint, so
+well-behaved clients back off instead of hammering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class AdmissionError(Exception):
+    """A submit the service refuses to admit.
+
+    ``status`` is the HTTP status the job API answers with and
+    ``retry_after`` (seconds, optional) becomes the ``Retry-After``
+    header — present only when retrying can help (queue pressure,
+    disk pressure), absent for structural rejections (a data set
+    bigger than the tenant's ``max_rows`` stays too big).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        status: int = 429,
+        retry_after: Optional[int] = None,
+        kind: str = "quota",
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.status = status
+        self.retry_after = retry_after
+        #: Short machine label for metrics/journal (``quota``,
+        #: ``rows``, ``disk``, ``draining``).
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits applied to one tenant's jobs (``None`` = unlimited)."""
+
+    #: Jobs a tenant may have in ``running`` at once (scheduler-side).
+    max_concurrent: Optional[int] = None
+    #: Jobs a tenant may have waiting in ``queued`` (submit-side).
+    max_queued: Optional[int] = None
+    #: Largest admissible job by (declared or derivable) row count.
+    #: Jobs whose size is unknowable (registry data sets) are admitted;
+    #: the per-job memory budget still bounds them at run time.
+    max_rows: Optional[int] = None
+
+
+#: The default when no policy is configured: everything unlimited.
+UNLIMITED = TenantQuota()
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The service's quota table: a default plus per-tenant overrides."""
+
+    default: TenantQuota = UNLIMITED
+    per_tenant: Dict[str, TenantQuota] = field(default_factory=dict)
+
+    def for_tenant(self, tenant: str) -> TenantQuota:
+        return self.per_tenant.get(tenant, self.default)
+
+    def admit(
+        self,
+        tenant: str,
+        queued: int,
+        rows: Optional[int],
+        retry_after: int = 5,
+    ) -> None:
+        """Raise :class:`AdmissionError` if the submit must be refused.
+
+        ``queued`` is the tenant's *current* queued count (the submit
+        under consideration not included); ``rows`` is the job's row
+        estimate (``None`` = unknowable, admitted).
+        """
+        quota = self.for_tenant(tenant)
+        if (
+            quota.max_rows is not None
+            and rows is not None
+            and rows > quota.max_rows
+        ):
+            raise AdmissionError(
+                f"job of {rows} rows exceeds tenant {tenant!r} "
+                f"max_rows={quota.max_rows}",
+                kind="rows",
+            )
+        if quota.max_queued is not None and queued >= quota.max_queued:
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {queued} queued jobs "
+                f"(max_queued={quota.max_queued})",
+                retry_after=retry_after,
+                kind="quota",
+            )
+
+    def may_start(self, tenant: str, running: int) -> bool:
+        """May the scheduler start another job for ``tenant`` while it
+        already has ``running`` jobs occupying slots?"""
+        quota = self.for_tenant(tenant)
+        return (
+            quota.max_concurrent is None or running < quota.max_concurrent
+        )

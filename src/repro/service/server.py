@@ -1,0 +1,178 @@
+"""The job API: HTTP routes of the mining service.
+
+:class:`ServiceServer` extends the read-only
+:class:`~repro.observe.server.MetricsServer` (keeping ``/metrics``,
+``/healthz`` and the connection hardening) with the job lifecycle::
+
+    POST   /jobs               submit a declarative job spec
+    GET    /jobs[?tenant=T]    list jobs (optionally one tenant's)
+    GET    /jobs/<id>          one job's state document
+    GET    /jobs/<id>/result   the committed result (409 until done)
+    DELETE /jobs/<id>          cancel (idempotent on terminal jobs)
+
+Status mapping: a malformed spec is ``400``; an unknown job is
+``404``; asking for the result of an unfinished job is ``409`` (the
+state document says why); a quota or disk rejection is ``429`` with a
+``Retry-After`` header when backing off can help; a draining service
+refuses new work with ``503``.
+
+The server holds no job state of its own — every route delegates to
+the owning :class:`repro.service.MiningService`, so the HTTP layer
+can be torn down and rebuilt (or never started, as in the crash-point
+tests) without touching the durable index.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.observe.server import MetricsServer, Response, json_response
+from repro.service.jobs import DONE, JobRecord
+from repro.service.quotas import AdmissionError
+
+
+def job_document(record: JobRecord) -> dict:
+    """The public JSON view of one job."""
+    return {
+        "job_id": record.job_id,
+        "tenant": record.tenant,
+        "state": record.state,
+        "attempts": record.attempts,
+        "created_at": record.created_at,
+        "updated_at": record.updated_at,
+        "error": record.error,
+        "rules": record.rules,
+        "spec": record.spec.to_mapping(),
+        "history": [list(entry) for entry in record.history],
+    }
+
+
+class ServiceServer(MetricsServer):
+    """HTTP front end of one :class:`repro.service.MiningService`."""
+
+    allow_methods = ("GET", "POST", "DELETE")
+
+    def __init__(self, registry, service, port: int = 0,
+                 host: str = "127.0.0.1",
+                 connection_timeout: Optional[float] = None) -> None:
+        self.service = service
+        super().__init__(
+            registry, port=port, host=host,
+            connection_timeout=connection_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def handle_request(self, method: str, path: str, body: bytes) -> Response:
+        parts = urlsplit(path)
+        segments = [s for s in parts.path.split("/") if s]
+        if segments[:1] == ["jobs"]:
+            return self.handle_jobs(method, segments[1:], parts.query, body)
+        if method != "GET":
+            return self.method_not_allowed()
+        return self.handle_get(path)
+
+    def handle_jobs(
+        self, method: str, segments, query: str, body: bytes
+    ) -> Response:
+        if method == "POST" and not segments:
+            return self.submit(body)
+        if method == "GET" and not segments:
+            tenants = parse_qs(query).get("tenant")
+            return self.list_jobs(tenants[0] if tenants else None)
+        if method == "GET" and len(segments) == 1:
+            return self.get_job(segments[0])
+        if method == "GET" and len(segments) == 2 and segments[1] == "result":
+            return self.get_result(segments[0])
+        if method == "DELETE" and len(segments) == 1:
+            return self.cancel_job(segments[0])
+        if method not in self.allow_methods:
+            return self.method_not_allowed()
+        return json_response(404, {"error": "unknown job route"})
+
+    # ------------------------------------------------------------------
+    # Job routes
+    # ------------------------------------------------------------------
+
+    def submit(self, body: bytes) -> Response:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return json_response(400, {"error": "body must be a JSON object"})
+        try:
+            record, created = self.service.submit(document)
+        except AdmissionError as rejection:
+            self.service.reject_event(rejection)
+            headers = None
+            if rejection.retry_after is not None:
+                headers = {"Retry-After": str(rejection.retry_after)}
+            return json_response(
+                rejection.status,
+                {"error": rejection.reason, "kind": rejection.kind},
+                headers=headers,
+            )
+        except ValueError as error:
+            return json_response(400, {"error": str(error)})
+        return json_response(201 if created else 200, job_document(record))
+
+    def list_jobs(self, tenant: Optional[str]) -> Response:
+        records = self.service.list_jobs(tenant)
+        return json_response(
+            200,
+            {
+                "jobs": [job_document(record) for record in records],
+                "tenant": tenant,
+            },
+        )
+
+    def get_job(self, job_id: str) -> Response:
+        record = self.service.get_job(job_id)
+        if record is None:
+            return json_response(
+                404, {"error": "unknown job", "job_id": job_id}
+            )
+        return json_response(200, job_document(record))
+
+    def get_result(self, job_id: str) -> Response:
+        record = self.service.get_job(job_id)
+        if record is None:
+            return json_response(
+                404, {"error": "unknown job", "job_id": job_id}
+            )
+        if record.state != DONE:
+            return json_response(
+                409,
+                {
+                    "error": f"job is {record.state}, result not available",
+                    "job_id": job_id,
+                    "state": record.state,
+                },
+            )
+        return (
+            200,
+            "application/json",
+            self.service.read_result(job_id).encode("utf-8"),
+            None,
+        )
+
+    def cancel_job(self, job_id: str) -> Response:
+        state = self.service.cancel_job(job_id)
+        if state is None:
+            return json_response(
+                404, {"error": "unknown job", "job_id": job_id}
+            )
+        return json_response(200, {"job_id": job_id, "state": state})
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health(self):
+        """Service-level liveness: job counts, drain state, uptime."""
+        summary = self.service.health_summary()
+        code = 503 if summary.get("draining") else 200
+        return code, summary
