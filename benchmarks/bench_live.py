@@ -1,0 +1,110 @@
+"""Continuous mining: one delta apply vs a full re-mine.
+
+The live miner exists so that appending a small batch of rows does
+*not* cost a mine over everything seen so far.  Two measurements
+bound that claim:
+
+- ``test_full_remine`` — the alternative the live path avoids: a
+  one-shot ``repro.mine()`` over the whole accumulated dataset (what
+  a naive "re-run on every append" deployment would pay per batch);
+- ``test_delta_apply`` — folding one delta batch into a warm
+  :class:`~repro.live.miner.LiveMiner` that already holds the same
+  accumulated rows (WAL commit + counter carry + re-admission check +
+  rule diff).
+
+Parity is asserted inside the timed path's setup: the warm miner's
+rule set must equal the one-shot mine of the concatenated rows, so
+the speedup never describes a miner that drifted.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+import repro
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.live import LiveMiner
+
+TASK = "implication"
+THRESHOLD = "3/4"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    import random
+
+    rng = random.Random(BENCH_SEED + 31)
+    base_rows = max(400, int(8000 * BENCH_SCALE))
+    delta_rows = max(20, base_rows // 50)
+    items = [f"item-{k:03d}" for k in range(60)]
+
+    def make(n):
+        data = []
+        for _ in range(n):
+            row = set(rng.sample(items, rng.randint(2, 6)))
+            if "item-000" in row and rng.random() < 0.9:
+                row.add("item-001")
+            data.append(sorted(row))
+        return data
+
+    return make(base_rows), make(delta_rows)
+
+
+def mined_rules(rows):
+    result = repro.mine(rows, task=TASK, threshold=THRESHOLD)
+    return sorted(str(rule) for rule in result.rules.sorted())
+
+
+def test_full_remine(benchmark, workload):
+    """The per-batch cost of the naive re-run-everything strategy."""
+    base, delta = workload
+    everything = base + delta
+
+    rules = benchmark.pedantic(
+        lambda: mined_rules(everything), rounds=5, iterations=1
+    )
+    benchmark.extra_info["rows"] = len(everything)
+    benchmark.extra_info["rules"] = len(rules)
+
+
+def test_delta_apply(benchmark, workload):
+    """Folding the same batch into a warm live miner."""
+    base, delta = workload
+    roots = []
+
+    def warm_miner():
+        root = tempfile.mkdtemp(prefix="bench-live-")
+        roots.append(root)
+        miner = LiveMiner(root, TASK, THRESHOLD, snapshot_every=1000)
+        miner.submit(1, base)
+        return (miner,), {}
+
+    def apply_delta(miner):
+        miner.submit(2, delta)
+        return miner
+
+    try:
+        miner = benchmark.pedantic(
+            apply_delta, setup=warm_miner, rounds=5, iterations=1
+        )
+        # Exactness: the timed path produced the one-shot rule set.
+        assert sorted(
+            str(rule) for rule in miner.rules().sorted()
+        ) == mined_rules(base + delta)
+        benchmark.extra_info["delta_rows"] = len(delta)
+        benchmark.extra_info["base_rows"] = len(base)
+        benchmark.extra_info["replayed_rows"] = (
+            miner.replayed_rows_total
+        )
+    finally:
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from benchmarks.jsonbench import main
+
+    sys.exit(main(__file__, sys.argv[1:]))

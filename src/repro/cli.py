@@ -258,6 +258,30 @@ def build_parser() -> argparse.ArgumentParser:
              "stop with Ctrl-C)",
     )
 
+    watch = subparsers.add_parser(
+        "watch",
+        help="tail the rule churn of a continuous-mining (live) run: "
+             "delta applies, rule appear/disappear events",
+    )
+    watch.add_argument(
+        "path",
+        help="journal file (JSONL), or a service state dir (its "
+             "service.jsonl is watched)",
+    )
+    watch.add_argument(
+        "--job", default=None, metavar="ID",
+        help="only show events of this live job id",
+    )
+    watch.add_argument(
+        "--from-start", action="store_true",
+        help="replay the whole journal before following (default: "
+             "start at the end)",
+    )
+    watch.add_argument(
+        "--no-follow", action="store_true",
+        help="print the existing churn and exit instead of following",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="run the mining service: a durable job runtime with a "
@@ -749,6 +773,88 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+#: Journal events `repro watch` renders (everything else is skipped).
+_WATCH_EVENTS = frozenset(
+    (
+        "live-open", "delta-commit", "delta-applied",
+        "rule-appear", "rule-disappear", "live-degrade",
+    )
+)
+
+
+def _format_watch_line(record: dict) -> Optional[str]:
+    """One human line per live event, or None to skip the record."""
+    event = record.get("event")
+    if event not in _WATCH_EVENTS:
+        return None
+    job = record.get("job_id")
+    prefix = f"[{job}] " if job else ""
+    seq = record.get("seq")
+    if event == "rule-appear":
+        return f"{prefix}seq {seq}: + {record.get('rule')}"
+    if event == "rule-disappear":
+        return f"{prefix}seq {seq}: - {record.get('rule')}"
+    if event == "delta-applied":
+        line = (
+            f"{prefix}seq {seq}: applied {record.get('rows')} rows, "
+            f"+{record.get('appeared', 0)}/-{record.get('disappeared', 0)} "
+            f"rules ({record.get('n_rules', 0)} total)"
+        )
+        if record.get("readmitted"):
+            line += f", readmitted {record['readmitted']}"
+        if record.get("degraded"):
+            line += f" [degraded: {record['degraded']}]"
+        if record.get("recovered"):
+            line += " [recovered]"
+        return line
+    if event == "delta-commit":
+        return f"{prefix}seq {seq}: committed {record.get('rows')} rows"
+    if event == "live-degrade":
+        return f"{prefix}! full re-mine: {record.get('reason')}"
+    return (
+        f"{prefix}= session open (watermark "
+        f"{record.get('watermark')}, {record.get('n_rules')} rules, "
+        f"{record.get('n_rows')} rows)"
+    )
+
+
+def _watch(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.observe import follow_journal, read_journal
+
+    path = args.path
+    if os.path.isdir(path):
+        # A service state dir: watch its service journal.
+        path = os.path.join(path, "service.jsonl")
+
+    def emit(record: dict) -> bool:
+        if args.job is not None and record.get("job_id") != args.job:
+            return False
+        line = _format_watch_line(record)
+        if line is None:
+            return False
+        print(line, flush=True)
+        return True
+
+    if args.no_follow:
+        try:
+            for record in read_journal(path):
+                emit(record)
+        except (OSError, ValueError) as error:
+            print(
+                f"cannot read journal {path}: {error}", file=sys.stderr
+            )
+            return 1
+        return 0
+    try:
+        for record in follow_journal(path, from_end=not args.from_start):
+            emit(record)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _dispatch(argv: Optional[List[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -758,6 +864,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _mine(args)
     if args.command == "journal":
         return _journal(args)
+    if args.command == "watch":
+        return _watch(args)
     if args.command == "agent":
         return _agent(args)
     if args.command == "serve":

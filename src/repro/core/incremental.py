@@ -1,0 +1,158 @@
+"""Pure pair-state arithmetic for incremental (delta-append) mining.
+
+The DMC counters are additive over rows, which makes the algorithm
+naturally incremental: for a candidate pair the sparse-side miss count
+is ``misses = ones(owner) - hits``, so carrying per-column ``ones``
+and the exact per-pair ``hits`` forward across append batches is a
+complete, lossless carry of the paper's miss counters.  Everything a
+rule needs — the implication confidence ``hits/ones_i`` and the
+similarity ``hits/(ones_i + ones_j - hits)`` — re-derives from those
+integers with :mod:`repro.core.thresholds` Fraction arithmetic, so an
+incremental miner that keeps them exact emits rule sets *identical*
+to a from-scratch mine of the concatenated data.
+
+Pruning carries over too.  A pair whose exact statistics fail the
+threshold may stop being tracked (*retired*) as long as a compact
+snapshot ``(hits, ones_a, ones_b)`` taken at retirement is kept:
+because hits only grow when both columns gain a row, the final
+intersection is bounded by the Section 5.2 optimistic bound
+
+    ``hits  <=  hits_r + min(ones_a - ones_a_r, ones_b - ones_b_r)``
+
+(:func:`readmission_bound`).  Only when that bound crosses the
+threshold — exactly when the Fraction math says a rule has become
+*possible* — must the pair's true count be re-established by
+replaying retained rows.  Nothing here is approximate: the bound can
+fire spuriously (the replay then re-retires with a tighter snapshot),
+but it can never miss a pair that became a rule.
+
+All functions are pure and engine-agnostic; :mod:`repro.live` owns
+the stateful miner, the WAL and the replay machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple
+
+from repro.core.rules import (
+    ImplicationRule, SimilarityRule, canonical_before,
+)
+from repro.core.thresholds import confidence_holds, similarity_holds
+
+#: The two rule tasks the incremental miner carries.
+TASKS = ("implication", "similarity")
+
+
+@dataclass(frozen=True)
+class RetiredPair:
+    """The snapshot kept for a pair pruned from exact tracking.
+
+    ``hits`` is the pair's exact intersection at the moment of
+    retirement; ``ones_a``/``ones_b`` are the column counts at that
+    same moment (``a`` is the lower column id).  Together they anchor
+    :func:`readmission_bound`.
+    """
+
+    hits: int
+    ones_a: int
+    ones_b: int
+
+
+def canonical_pair(
+    ones: Sequence[int], a: int, b: int
+) -> Tuple[int, int]:
+    """Order ``(a, b)`` canonically: sparser column first, id tiebreak.
+
+    This is the emission-time direction of a rule.  It can *flip* as
+    ``ones`` grow, which is why it is computed from the current counts
+    rather than stored.
+    """
+    if canonical_before(ones[a], a, ones[b], b):
+        return a, b
+    return b, a
+
+
+def pair_alive(
+    task: str,
+    threshold: Fraction,
+    ones_a: int,
+    ones_b: int,
+    hits: int,
+) -> bool:
+    """Exact test: do the pair's current statistics make a rule?
+
+    For implication only the canonical (sparser-antecedent) direction
+    is mined, and its confidence ``hits/min(ones_a, ones_b)`` is the
+    larger of the two, so the pair makes a rule iff that direction
+    passes.  Both predicates are monotone increasing in ``hits``,
+    which :func:`readmission_bound` relies on.
+    """
+    if task == "implication":
+        return confidence_holds(hits, min(ones_a, ones_b), threshold)
+    if task == "similarity":
+        return similarity_holds(hits, ones_a + ones_b - hits, threshold)
+    raise ValueError(f"unknown task {task!r} (expected one of {TASKS})")
+
+
+def readmission_bound(
+    snapshot: RetiredPair, ones_a: int, ones_b: int
+) -> int:
+    """Largest intersection the pair can have reached since retiring.
+
+    Every hit after the snapshot consumed one new row from *each*
+    column, so at most ``min`` of the two column growths happened; the
+    result is additionally clamped by the columns themselves.
+    """
+    grown = min(ones_a - snapshot.ones_a, ones_b - snapshot.ones_b)
+    return min(snapshot.hits + grown, ones_a, ones_b)
+
+
+def readmission_required(
+    task: str,
+    threshold: Fraction,
+    snapshot: RetiredPair,
+    ones_a: int,
+    ones_b: int,
+) -> bool:
+    """True when a retired pair *might* now make a rule.
+
+    Because :func:`pair_alive` is monotone in hits and
+    :func:`readmission_bound` dominates the true count, a False here
+    is a proof the pair is still dead — no replay needed.  A True is
+    only a possibility: the caller must recount the exact hits from
+    retained rows before emitting anything.
+    """
+    bound = readmission_bound(snapshot, ones_a, ones_b)
+    return pair_alive(task, threshold, ones_a, ones_b, bound)
+
+
+def pair_rule(
+    task: str,
+    threshold: Fraction,
+    ones: Sequence[int],
+    a: int,
+    b: int,
+    hits: int,
+) -> Optional[object]:
+    """The rule a live pair mines right now, or None below threshold.
+
+    Emits the same value objects as the batch engines —
+    :class:`~repro.core.rules.ImplicationRule` in the canonical
+    direction, :class:`~repro.core.rules.SimilarityRule` with the
+    canonically-first column on the left — so rule sets compare
+    byte-identical to a full re-mine.
+    """
+    if not pair_alive(task, threshold, ones[a], ones[b], hits):
+        return None
+    first, second = canonical_pair(ones, a, b)
+    if task == "implication":
+        return ImplicationRule(
+            antecedent=first, consequent=second,
+            hits=hits, ones=ones[first],
+        )
+    return SimilarityRule(
+        first=first, second=second,
+        intersection=hits, union=ones[a] + ones[b] - hits,
+    )

@@ -1,0 +1,32 @@
+"""Continuous mining: crash-safe incremental delta ingestion.
+
+The package splits the continuous-mining tentpole into two layers:
+
+- :mod:`repro.live.wal` — the durable write-ahead delta log
+  (atomic-commit segments, monotonic sequence discipline, SHA-256
+  chain fingerprint) and the optional state snapshot store;
+- :mod:`repro.live.miner` — :class:`LiveMiner`, the long-lived
+  incremental miner whose rule set stays byte-identical to a full
+  re-mine of the concatenated data after every committed batch.
+
+The pure threshold/bound arithmetic lives in
+:mod:`repro.core.incremental`; the service-facing session (applier
+thread, backpressure) in :mod:`repro.service.live`.
+"""
+
+from repro.live.miner import DeltaReceipt, LiveMiner
+from repro.live.wal import (
+    AppendResult, DeltaLog, DeltaLogError, DeltaMismatch, OutOfOrderDelta,
+    SnapshotStore,
+)
+
+__all__ = [
+    "AppendResult",
+    "DeltaLog",
+    "DeltaLogError",
+    "DeltaMismatch",
+    "DeltaReceipt",
+    "LiveMiner",
+    "OutOfOrderDelta",
+    "SnapshotStore",
+]

@@ -10,10 +10,34 @@ confidence).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.rules import RuleSet
 from repro.matrix.binary_matrix import Vocabulary
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One atomic difference between two rule sets.
+
+    ``kind`` is ``added`` (``before`` is None), ``removed`` (``after``
+    is None) or ``changed`` (same pair, different statistics);
+    ``pair`` is the unordered column pair the rules are keyed by.
+    """
+
+    kind: str
+    pair: Tuple[int, int]
+    before: Optional[object]
+    after: Optional[object]
+
+    def to_event(self) -> dict:
+        """JSON-ready form (what journal consumers receive)."""
+        return {
+            "kind": self.kind,
+            "pair": list(self.pair),
+            "before": None if self.before is None else str(self.before),
+            "after": None if self.after is None else str(self.after),
+        }
 
 
 @dataclass
@@ -33,6 +57,34 @@ class RuleDiff:
             and len(self.removed) == 0
             and not self.changed
         )
+
+    def entries(self) -> List[DiffEntry]:
+        """Every difference as a flat list in a *stable* order:
+        sorted by pair, additions before removals before changes at
+        equal pairs.  Two equal diffs always enumerate identically —
+        the property the live rule-churn events build on."""
+        kind_order = {"added": 0, "removed": 1, "changed": 2}
+        entries = [
+            DiffEntry("added", rule.pair, None, rule)
+            for rule in self.added.sorted()
+        ]
+        entries.extend(
+            DiffEntry("removed", rule.pair, rule, None)
+            for rule in self.removed.sorted()
+        )
+        entries.extend(
+            DiffEntry("changed", before.pair, before, after)
+            for before, after in self.changed
+        )
+        entries.sort(key=lambda entry: (entry.pair, kind_order[entry.kind]))
+        return entries
+
+    def __iter__(self) -> Iterator[DiffEntry]:
+        return iter(self.entries())
+
+    def to_events(self) -> List[dict]:
+        """The stable entry list as JSON-ready dicts."""
+        return [entry.to_event() for entry in self.entries()]
 
     def render(self, vocabulary: Optional[Vocabulary] = None) -> str:
         """Plain-text summary, one section per change kind."""
@@ -59,13 +111,15 @@ def diff_rules(before: RuleSet, after: RuleSet) -> RuleDiff:
     """Diff two rule sets of the same kind, pair by pair."""
     before_pairs = before.pairs()
     after_pairs = after.pairs()
-    added = RuleSet(after[pair] for pair in after_pairs - before_pairs)
+    added = RuleSet(
+        after[pair] for pair in sorted(after_pairs - before_pairs)
+    )
     removed = RuleSet(
-        before[pair] for pair in before_pairs - after_pairs
+        before[pair] for pair in sorted(before_pairs - after_pairs)
     )
     changed = []
     unchanged = 0
-    for pair in before_pairs & after_pairs:
+    for pair in sorted(before_pairs & after_pairs):
         if before[pair] != after[pair]:
             changed.append((before[pair], after[pair]))
         else:

@@ -56,6 +56,13 @@ KNOWN_EVENTS = (
     "rules-milestone",
     "curve-sample",
     "run-end",
+    # Continuous-mining (live) events:
+    "live-open",
+    "delta-commit",
+    "delta-applied",
+    "rule-appear",
+    "rule-disappear",
+    "live-degrade",
 )
 
 #: A ``rules-milestone`` event fires each time the emitted-rule count
@@ -142,6 +149,33 @@ class RunJournal:
                 self._handle = None
                 return
             self._seq += 1
+
+    def flush(self) -> None:
+        """Flush and fsync buffered events now, bypassing the batch.
+
+        Low-rate writers whose events feed a live reader (the
+        continuous-mining churn feed under ``repro watch``) call this
+        at batch granularity — without it a sparse event stream can
+        sit in the write buffer below the ``fsync_every`` trigger
+        indefinitely.
+        """
+        if self.disabled or self._handle is None:
+            return
+        with self._lock:
+            if self.disabled or self._handle is None:
+                return
+            try:
+                self.storage.fsync(self._handle)
+                self._pending_sync = 0
+                self._last_fsync = time.monotonic()
+            except OSError as error:
+                self.disabled = True
+                self.error = io_error_kind(error)
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
 
     def close(self) -> None:
         """Flush, fsync and close the journal (idempotent)."""

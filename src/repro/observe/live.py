@@ -39,6 +39,10 @@ class LiveRunStatus:
         self._rate_window_rows = 0
         self._rate_window_start = self.started_monotonic
         self._rows_per_second = 0.0
+        #: Continuous-mining fields (delta watermark, applied seq,
+        #: re-admission counters ...) published by a live miner; empty
+        #: for batch runs.
+        self._live_fields: Dict[str, object] = {}
 
     # -- engine-side writers ------------------------------------------
 
@@ -67,6 +71,12 @@ class LiveRunStatus:
                 node_id: dict(record) for node_id, record in nodes.items()
             }
 
+    def set_live(self, **fields: object) -> None:
+        """Merge continuous-mining fields into the status (shown as
+        the ``live`` object of the ``/runs/<id>`` body)."""
+        with self._lock:
+            self._live_fields.update(fields)
+
     def finish(self, failed: Optional[str] = None) -> None:
         self.failed = failed
         self.finished = True
@@ -88,9 +98,14 @@ class LiveRunStatus:
                 for node_id, record in self._node_table.items()
             }
 
+    def live_fields(self) -> Dict[str, object]:
+        with self._lock:
+            return dict(self._live_fields)
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready point-in-time view (the ``/runs/<id>`` body)."""
         return {
+            "live": self.live_fields(),
             "run_id": self.run_id,
             "started_at": self.started_at,
             "uptime_seconds": time.monotonic() - self.started_monotonic,

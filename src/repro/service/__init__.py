@@ -41,6 +41,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.live.wal import DeltaLogError
 from repro.observe.journal import RunJournal
 from repro.observe.metrics import MetricsRegistry
 from repro.runtime.guards import ensure_disk_space
@@ -51,6 +52,7 @@ from repro.service.jobs import (
     CANCELLED, DONE, FAILED, QUEUED, RUNNING, STATES, TERMINAL_STATES,
     JobDataError, JobIndex, JobRecord, JobSpec, RecoveryReport,
 )
+from repro.service.live import DEFAULT_REPLAY_BUDGET_ROWS, LiveSession
 from repro.service.quotas import (
     AdmissionError, QuotaPolicy, TenantQuota,
 )
@@ -67,6 +69,7 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "JobTimeout",
+    "LiveSession",
     "MiningService",
     "QuotaPolicy",
     "RecoveryReport",
@@ -113,11 +116,17 @@ class MiningService:
         retry_base_delay: float = 0.5,
         min_free_bytes: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        max_live_backlog: int = 64,
+        live_replay_budget_rows: Optional[int] = None,
     ) -> None:
         self.state_dir = str(state_dir)
         self.storage = storage if storage is not None else LOCAL_STORAGE
         self.policy = policy if policy is not None else QuotaPolicy()
         self.min_free_bytes = min_free_bytes
+        self.max_live_backlog = max_live_backlog
+        self.live_replay_budget_rows = live_replay_budget_rows
+        self.live_sessions: Dict[str, LiveSession] = {}
+        self._live_lock = threading.RLock()
         self.started_at = time.time()
         self._draining = False
         self._closed = False
@@ -164,7 +173,15 @@ class MiningService:
             on_event=self._scheduler_event,
         )
         for job_id in self.recovery.runnable:
+            record = self.index.get(job_id)
+            if record is not None and record.spec.kind == "live":
+                continue  # live jobs re-open as sessions, not runs
             self.scheduler.enqueue(job_id)
+        # Re-open every non-terminal live session: the WAL replays
+        # whatever the dead process had committed but not yet folded.
+        for record in self.index.all_records():
+            if record.spec.kind == "live" and not record.terminal:
+                self._open_live_session(record, recovered=True)
         self.server = None
         if serve:
             from repro.service.server import ServiceServer
@@ -243,11 +260,118 @@ class MiningService:
         self._m_submitted.inc()
         self._journal_event(
             "job-submitted", job_id=record.job_id, tenant=record.tenant,
-            task=spec.task,
+            task=spec.task, kind=spec.kind,
         )
-        self.scheduler.enqueue(record.job_id)
+        if spec.kind == "live":
+            record = self._open_live_session(record, recovered=False)
+        else:
+            self.scheduler.enqueue(record.job_id)
         self._update_gauges()
         return record, True
+
+    # -- live (continuous-mining) jobs ---------------------------------
+
+    def _open_live_session(
+        self, record: JobRecord, recovered: bool
+    ) -> JobRecord:
+        """Open (or re-open) the continuous session of a live job.
+
+        The spec's inline transactions are committed as delta sequence
+        1 every time — the WAL dedupes the re-open case — so client
+        deltas always start at sequence 2 and a crash between record
+        creation and the seed commit self-heals.
+        """
+        with self._live_lock:
+            existing = self.live_sessions.get(record.job_id)
+            if existing is not None:
+                return record
+            session = LiveSession(
+                record.job_id,
+                self.index.job_workdir(record.job_id),
+                record.spec.task,
+                record.spec.threshold,
+                storage=self.storage,
+                journal=self.journal,
+                max_backlog=self.max_live_backlog,
+                replay_budget_rows=(
+                    self.live_replay_budget_rows
+                    if self.live_replay_budget_rows is not None
+                    else DEFAULT_REPLAY_BUDGET_ROWS
+                ),
+            )
+            session.submit_delta(
+                1, list(record.spec.data.get("transactions") or [])
+            )
+            self.live_sessions[record.job_id] = session
+        if record.state != RUNNING:
+            record = self.index.transition(
+                record.job_id, RUNNING,
+                note=(
+                    "live session re-opened after restart"
+                    if recovered else "live session opened"
+                ),
+            )
+        # No service-level journal event here: the miner itself emits
+        # "live-open" (with the job_id attached) when it recovers.
+        return record
+
+    def live_session(self, job_id: str) -> Optional[LiveSession]:
+        with self._live_lock:
+            return self.live_sessions.get(job_id)
+
+    def submit_delta(
+        self, job_id: str, document: Dict[str, object]
+    ):
+        """Ingest one delta batch into a live job.
+
+        ``document``: ``{"seq": int, "rows": [[label, ...], ...],
+        "wait": bool?}``.  Raises :class:`KeyError` for an unknown or
+        non-live job, :class:`ValueError` subclasses for protocol
+        violations, :class:`AdmissionError` for backpressure.
+        """
+        session = self.live_session(job_id)
+        if session is None:
+            record = self.index.get(job_id)
+            if record is None:
+                raise KeyError(f"no such job: {job_id}")
+            if record.spec.kind != "live":
+                raise DeltaLogError(
+                    f"job {job_id} is a batch job; deltas need "
+                    "\"kind\": \"live\""
+                )
+            raise DeltaLogError(
+                f"live job {job_id} is {record.state}; its session "
+                "is closed"
+            )
+        if not isinstance(document, dict):
+            raise ValueError("delta must be a JSON object")
+        unknown = set(document) - {"seq", "rows", "wait"}
+        if unknown:
+            raise ValueError(f"unknown delta keys: {sorted(unknown)}")
+        if "seq" not in document or "rows" not in document:
+            raise ValueError("delta needs \"seq\" and \"rows\"")
+        seq = document["seq"]
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            raise ValueError("seq must be an integer")
+        rows = document["rows"]
+        if not isinstance(rows, list):
+            raise ValueError("rows must be a list of label lists")
+        # No service-level journal event here: the miner itself emits
+        # delta-commit / delta-applied with the job_id attached.
+        return session.submit_delta(
+            seq, rows, wait=bool(document.get("wait", False))
+        )
+
+    def close_live_session(
+        self, job_id: str, state: str, note: str
+    ) -> Optional[str]:
+        with self._live_lock:
+            session = self.live_sessions.pop(job_id, None)
+        if session is None:
+            return None
+        session.close()
+        self.index.transition(job_id, state, note=note)
+        return state
 
     def reject_event(self, rejection: AdmissionError) -> None:
         """Record a refused submit (called by the HTTP layer)."""
@@ -274,7 +398,13 @@ class MiningService:
         return json.loads(self.index.read_result(job_id))
 
     def cancel_job(self, job_id: str) -> Optional[str]:
-        state = self.scheduler.cancel(job_id)
+        record = self.index.get(job_id)
+        if record is not None and record.spec.kind == "live":
+            state = self.close_live_session(
+                job_id, CANCELLED, note="cancelled by client"
+            )
+        else:
+            state = self.scheduler.cancel(job_id)
         if state is not None:
             self._journal_event("job-cancel", job_id=job_id, state=state)
             self._update_gauges()
@@ -321,6 +451,13 @@ class MiningService:
         self._stop.set()
         if self.server is not None:
             self.server.close()
+        # Live sessions snapshot their state and stop; the records
+        # stay ``running`` on disk so the next boot re-opens them.
+        with self._live_lock:
+            sessions = list(self.live_sessions.values())
+            self.live_sessions.clear()
+        for session in sessions:
+            session.close()
         self.scheduler.close()
         self._journal_event("service-stop", jobs=self.index.counts())
         if self.journal is not None:

@@ -63,9 +63,13 @@ SPEC_KEYS = frozenset(
         "job_id", "tenant", "task", "threshold", "data", "engine",
         "n_partitions", "n_workers", "task_timeout", "task_retries",
         "vector_block_rows", "timeout_seconds", "max_attempts",
-        "memory_budget",
+        "memory_budget", "kind",
     )
 )
+
+#: Job kinds: ``batch`` runs once through the scheduler; ``live``
+#: opens a continuous-mining session fed by ``POST /jobs/<id>/deltas``.
+JOB_KINDS = ("batch", "live")
 
 #: Keys the ``data`` sub-document may carry (exactly one data source).
 DATA_KEYS = frozenset(("transactions", "path", "dataset", "scale", "seed"))
@@ -111,6 +115,9 @@ class JobSpec:
     timeout_seconds: Optional[float] = None
     max_attempts: int = 3
     memory_budget: Optional[int] = None
+    #: ``batch`` (default) or ``live`` — a live job is a long-running
+    #: continuous-mining session, never scheduled as a one-shot run.
+    kind: str = "batch"
 
     @classmethod
     def from_mapping(cls, document: Dict[str, object]) -> "JobSpec":
@@ -187,7 +194,18 @@ class JobSpec:
                 if document.get("memory_budget") is None
                 else int(document["memory_budget"])  # type: ignore[arg-type]
             ),
+            kind=str(document.get("kind", "batch")),
         )
+        if spec.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {spec.kind!r} "
+                f"(allowed: {list(JOB_KINDS)})"
+            )
+        if spec.kind == "live" and "transactions" not in spec.data:
+            raise ValueError(
+                "a live job needs inline data.transactions (its seed "
+                "rows; an empty list is fine — deltas feed the rest)"
+            )
         if spec.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if spec.timeout_seconds is not None and spec.timeout_seconds <= 0:
@@ -209,6 +227,7 @@ class JobSpec:
             "n_partitions": self.n_partitions,
             "max_attempts": self.max_attempts,
             "task_retries": self.task_retries,
+            "kind": self.kind,
         }
         for key in (
             "n_workers", "task_timeout", "vector_block_rows",

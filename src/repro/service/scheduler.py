@@ -30,6 +30,7 @@ deterministic schedule of durable operations.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import deque
@@ -159,10 +160,14 @@ class Scheduler:
         default_memory_budget: Optional[int] = None,
         default_timeout: Optional[float] = None,
         retry_base_delay: float = 0.5,
+        retry_jitter: float = 0.5,
+        retry_rng: Optional[random.Random] = None,
         on_event: Optional[Callable[[str, dict], None]] = None,
     ) -> None:
         if n_slots < 0:
             raise ValueError("n_slots must be non-negative")
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
         self.index = index
         self.policy = policy if policy is not None else QuotaPolicy()
         self.n_slots = n_slots
@@ -171,6 +176,8 @@ class Scheduler:
         self.default_memory_budget = default_memory_budget
         self.default_timeout = default_timeout
         self.retry_base_delay = retry_base_delay
+        self.retry_jitter = retry_jitter
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
         self._on_event = on_event
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -443,6 +450,21 @@ class Scheduler:
         else:
             self._finish(job_id, CANCELLED, note="cancelled while running")
 
+    def retry_delay(self, attempt: int) -> float:
+        """The wait before re-running attempt ``attempt + 1``.
+
+        Exponential backoff capped at :data:`MAX_RETRY_DELAY`, then
+        jittered *downward* by up to ``retry_jitter`` of itself: jobs
+        that failed simultaneously (a shared pool crash takes a whole
+        batch down at once) spread over ``[delay * (1 - jitter),
+        delay]`` instead of hammering the slots again in lockstep.
+        """
+        delay = min(
+            backoff_delay(attempt - 1, self.retry_base_delay),
+            MAX_RETRY_DELAY,
+        )
+        return delay * (1.0 - self.retry_jitter * self._retry_rng.random())
+
     def _finish_failure(
         self, job_id: str, record: JobRecord, attempt: int,
         error: BaseException,
@@ -459,10 +481,7 @@ class Scheduler:
                 "job-retry", job_id=job_id, attempt=attempt,
                 reason=str(error),
             )
-            return min(
-                backoff_delay(attempt - 1, self.retry_base_delay),
-                MAX_RETRY_DELAY,
-            )
+            return self.retry_delay(attempt)
         self._finish(
             job_id, FAILED,
             note=f"failed on attempt {attempt}",

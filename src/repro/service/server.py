@@ -4,17 +4,26 @@
 :class:`~repro.observe.server.MetricsServer` (keeping ``/metrics``,
 ``/healthz`` and the connection hardening) with the job lifecycle::
 
-    POST   /jobs               submit a declarative job spec
-    GET    /jobs[?tenant=T]    list jobs (optionally one tenant's)
-    GET    /jobs/<id>          one job's state document
-    GET    /jobs/<id>/result   the committed result (409 until done)
-    DELETE /jobs/<id>          cancel (idempotent on terminal jobs)
+    POST   /jobs                 submit a declarative job spec
+    GET    /jobs[?tenant=T]      list jobs (optionally one tenant's)
+    GET    /jobs/<id>[?wait=S]   one job's state document (``wait``
+                                 long-polls up to S seconds until the
+                                 job leaves queued/running)
+    GET    /jobs/<id>/result     the committed result (409 until done;
+                                 a live job answers with its current
+                                 rule set)
+    POST   /jobs/<id>/deltas     ingest one delta batch into a live job
+    DELETE /jobs/<id>            cancel (idempotent on terminal jobs)
 
 Status mapping: a malformed spec is ``400``; an unknown job is
 ``404``; asking for the result of an unfinished job is ``409`` (the
 state document says why); a quota or disk rejection is ``429`` with a
 ``Retry-After`` header when backing off can help; a draining service
-refuses new work with ``503``.
+refuses new work with ``503``.  Delta ingestion adds: ``202`` for a
+fresh commit (``200`` when the batch is a duplicate or was applied
+synchronously via ``"wait": true``), ``409`` for sequence-discipline
+violations (out-of-order, payload mismatch, closed session) and
+``429`` + ``Retry-After`` when the WAL backlog is at the cap.
 
 The server holds no job state of its own — every route delegates to
 the owning :class:`repro.service.MiningService`, so the HTTP layer
@@ -25,12 +34,20 @@ tests) without touching the durable index.
 from __future__ import annotations
 
 import json
+import time
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.live.wal import DeltaLogError, DeltaMismatch, OutOfOrderDelta
 from repro.observe.server import MetricsServer, Response, json_response
-from repro.service.jobs import DONE, JobRecord
+from repro.service.jobs import DONE, QUEUED, RUNNING, JobRecord
 from repro.service.quotas import AdmissionError
+
+#: Hard cap on one long-poll's duration, whatever the client asks.
+MAX_WAIT_SECONDS = 60.0
+
+#: How often a long-poll re-reads the job state.
+WAIT_POLL_SECONDS = 0.05
 
 
 def job_document(record: JobRecord) -> dict:
@@ -85,9 +102,11 @@ class ServiceServer(MetricsServer):
             tenants = parse_qs(query).get("tenant")
             return self.list_jobs(tenants[0] if tenants else None)
         if method == "GET" and len(segments) == 1:
-            return self.get_job(segments[0])
+            return self.get_job(segments[0], query)
         if method == "GET" and len(segments) == 2 and segments[1] == "result":
             return self.get_result(segments[0])
+        if method == "POST" and len(segments) == 2 and segments[1] == "deltas":
+            return self.post_delta(segments[0], body)
         if method == "DELETE" and len(segments) == 1:
             return self.cancel_job(segments[0])
         if method not in self.allow_methods:
@@ -117,7 +136,9 @@ class ServiceServer(MetricsServer):
             )
         except ValueError as error:
             return json_response(400, {"error": str(error)})
-        return json_response(201 if created else 200, job_document(record))
+        return json_response(
+            201 if created else 200, self._document(record)
+        )
 
     def list_jobs(self, tenant: Optional[str]) -> Response:
         records = self.service.list_jobs(tenant)
@@ -129,13 +150,47 @@ class ServiceServer(MetricsServer):
             },
         )
 
-    def get_job(self, job_id: str) -> Response:
+    def _document(self, record: JobRecord) -> dict:
+        """The job document, enriched with live-session state."""
+        document = job_document(record)
+        session = self.service.live_session(record.job_id)
+        if session is not None:
+            document["live"] = session.snapshot()
+        return document
+
+    def get_job(self, job_id: str, query: str = "") -> Response:
         record = self.service.get_job(job_id)
         if record is None:
             return json_response(
                 404, {"error": "unknown job", "job_id": job_id}
             )
-        return json_response(200, job_document(record))
+        wait_values = parse_qs(query).get("wait")
+        if wait_values:
+            try:
+                wait = float(wait_values[0])
+            except ValueError:
+                return json_response(
+                    400, {"error": "wait must be a number of seconds"}
+                )
+            # Long-poll: hold the request until the job leaves the
+            # queued/running states or the (capped) wait elapses; the
+            # response is the job document either way, so the caller
+            # just inspects ``state``.
+            deadline = time.monotonic() + max(
+                0.0, min(wait, MAX_WAIT_SECONDS)
+            )
+            while (
+                record is not None
+                and record.state in (QUEUED, RUNNING)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(WAIT_POLL_SECONDS)
+                record = self.service.get_job(job_id)
+            if record is None:  # pragma: no cover — index never drops
+                return json_response(
+                    404, {"error": "unknown job", "job_id": job_id}
+                )
+        return json_response(200, self._document(record))
 
     def get_result(self, job_id: str) -> Response:
         record = self.service.get_job(job_id)
@@ -143,6 +198,11 @@ class ServiceServer(MetricsServer):
             return json_response(
                 404, {"error": "unknown job", "job_id": job_id}
             )
+        session = self.service.live_session(job_id)
+        if session is not None:
+            # A live job has no final result; answer with the rule
+            # set the session holds right now.
+            return json_response(200, session.rules_document())
         if record.state != DONE:
             return json_response(
                 409,
@@ -159,6 +219,67 @@ class ServiceServer(MetricsServer):
             None,
         )
 
+    def post_delta(self, job_id: str, body: bytes) -> Response:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return json_response(400, {"error": "body must be a JSON object"})
+        try:
+            receipt = self.service.submit_delta(job_id, document)
+        except KeyError:
+            return json_response(
+                404, {"error": "unknown job", "job_id": job_id}
+            )
+        except OutOfOrderDelta as error:
+            return json_response(
+                409,
+                {
+                    "error": str(error), "kind": "out-of-order",
+                    "seq": error.seq, "expected": error.expected,
+                },
+            )
+        except DeltaMismatch as error:
+            return json_response(
+                409,
+                {"error": str(error), "kind": "mismatch", "seq": error.seq},
+            )
+        except DeltaLogError as error:
+            return json_response(
+                409, {"error": str(error), "kind": "conflict"}
+            )
+        except AdmissionError as rejection:
+            self.service.reject_event(rejection)
+            headers = None
+            if rejection.retry_after is not None:
+                headers = {"Retry-After": str(rejection.retry_after)}
+            return json_response(
+                rejection.status,
+                {"error": rejection.reason, "kind": rejection.kind},
+                headers=headers,
+            )
+        except ValueError as error:
+            return json_response(400, {"error": str(error)})
+        status = 202 if receipt.status == "committed" else 200
+        if receipt.applied_seq >= receipt.seq:
+            status = 200  # applied synchronously (wait or duplicate)
+        return json_response(
+            status,
+            {
+                "job_id": job_id,
+                "seq": receipt.seq,
+                "status": receipt.status,
+                "watermark": receipt.watermark,
+                "applied_seq": receipt.applied_seq,
+                "rows": receipt.rows,
+                "appeared": receipt.appeared,
+                "disappeared": receipt.disappeared,
+                "n_rules": receipt.n_rules,
+                "readmitted": receipt.readmitted,
+                "replayed_rows": receipt.replayed_rows,
+                "degraded": receipt.degraded,
+            },
+        )
+
     def cancel_job(self, job_id: str) -> Response:
         state = self.service.cancel_job(job_id)
         if state is None:
@@ -166,6 +287,21 @@ class ServiceServer(MetricsServer):
                 404, {"error": "unknown job", "job_id": job_id}
             )
         return json_response(200, {"job_id": job_id, "state": state})
+
+    # ------------------------------------------------------------------
+    # Live run pages
+    # ------------------------------------------------------------------
+
+    def handle_get(self, path: str) -> Response:
+        # ``/runs/<job_id>`` of an open live session is served from
+        # the session's status; everything else (metrics, healthz,
+        # the batch run page) falls through to the metrics server.
+        segments = [s for s in urlsplit(path).path.split("/") if s]
+        if len(segments) == 2 and segments[0] == "runs":
+            session = self.service.live_session(segments[1])
+            if session is not None:
+                return json_response(200, session.snapshot())
+        return super().handle_get(path)
 
     # ------------------------------------------------------------------
     # Health

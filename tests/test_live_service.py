@@ -1,0 +1,690 @@
+"""Continuous mining through the service: live jobs, delta ingestion
+over HTTP, backpressure, long-polling, retry jitter, the watch CLI,
+and kill-9 chaos with client retry storms.
+
+The batch-side contract (`tests/test_service.py`) is unchanged; this
+suite covers the ``"kind": "live"`` surface added on top of it.  The
+exactness bar stays the same: whatever sequence of deltas, crashes
+and duplicate re-deliveries a client produces, the live rule set must
+equal a one-shot mine of the concatenated data.
+"""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main as cli_main
+from repro.live.wal import DeltaLogError, OutOfOrderDelta
+from repro.mining.export import rules_to_json
+from repro.service import MiningService, Scheduler
+from repro.service.jobs import (
+    CANCELLED, DONE, QUEUED, RUNNING, JobIndex, JobSpec,
+)
+from repro.service.scheduler import MAX_RETRY_DELAY
+from repro.runtime.guards import backoff_delay
+
+SEED_ROWS = [["a", "b"], ["a", "b"], ["a"], ["b", "c"]]
+
+DELTAS = {
+    2: [["a", "b"], ["a", "b"], ["b", "c"]],
+    3: [["a"], ["c"], ["a", "b"]],
+    4: [["b", "c"], ["b", "c"], ["a", "b"], ["a", "b"]],
+}
+
+
+def live_doc(job_id, transactions=None, **extra):
+    document = {
+        "job_id": job_id,
+        "kind": "live",
+        "task": "implication",
+        "threshold": "3/4",
+        "data": {
+            "transactions": (
+                SEED_ROWS if transactions is None else transactions
+            )
+        },
+    }
+    document.update(extra)
+    return document
+
+
+def all_rows(upto=4):
+    rows = list(SEED_ROWS)
+    for seq in sorted(DELTAS):
+        if seq <= upto:
+            rows.extend(DELTAS[seq])
+    return rows
+
+
+def oracle_rules(rows, task="implication", threshold="3/4"):
+    result = repro.mine(rows, task=task, threshold=threshold)
+    document = json.loads(
+        rules_to_json(result.rules, result.vocabulary)
+    )
+    return json.dumps(document["rules"], sort_keys=True)
+
+
+def http(method, url, body=None, timeout=10):
+    request = urllib.request.Request(
+        url, method=method,
+        data=None if body is None else json.dumps(body).encode("utf-8"),
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read() or b"null"),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            json.loads(error.read() or b"null"),
+            dict(error.headers),
+        )
+
+
+# ----------------------------------------------------------------------
+# Spec-level validation of the new job kind
+# ----------------------------------------------------------------------
+
+
+class TestLiveSpec:
+    def test_kind_roundtrip_and_default(self):
+        spec = JobSpec.from_mapping(live_doc("l1"))
+        assert spec.kind == "live"
+        assert JobSpec.from_mapping(spec.to_mapping()) == spec
+        batch = dict(live_doc("l2"))
+        del batch["kind"]
+        assert JobSpec.from_mapping(batch).kind == "batch"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            JobSpec.from_mapping(live_doc("l1", kind="streaming"))
+
+    def test_live_requires_inline_transactions(self):
+        document = live_doc("l1")
+        document["data"] = {"path": "rows.txt"}
+        with pytest.raises(ValueError, match="transactions"):
+            JobSpec.from_mapping(document)
+
+    def test_empty_seed_is_fine(self):
+        spec = JobSpec.from_mapping(live_doc("l1", transactions=[]))
+        assert spec.kind == "live"
+
+
+# ----------------------------------------------------------------------
+# In-process live sessions
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = MiningService(str(tmp_path / "state"), n_slots=0)
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+class TestLiveService:
+    def test_live_job_runs_and_tracks_rules(self, service):
+        record, created = service.submit(live_doc("l1"))
+        assert created
+        assert service.get_job("l1").state == RUNNING
+        session = service.live_session("l1")
+        assert session is not None
+        # Seed went in as delta sequence 1.
+        assert session.miner.log.watermark == 1
+        for seq in sorted(DELTAS):
+            receipt = service.submit_delta(
+                "l1", {"seq": seq, "rows": DELTAS[seq], "wait": True}
+            )
+            assert receipt.applied_seq >= seq
+            document = session.rules_document()
+            assert json.dumps(
+                document["rules"], sort_keys=True
+            ) == oracle_rules(all_rows(upto=seq))
+
+    def test_duplicate_delta_is_noop(self, service):
+        service.submit(live_doc("l1"))
+        service.submit_delta(
+            "l1", {"seq": 2, "rows": DELTAS[2], "wait": True}
+        )
+        receipt = service.submit_delta(
+            "l1", {"seq": 2, "rows": DELTAS[2]}
+        )
+        assert receipt.status == "duplicate"
+        session = service.live_session("l1")
+        assert session.miner.n_rows == len(all_rows(upto=2))
+
+    def test_delta_to_batch_job_is_conflict(self, service):
+        document = live_doc("b1")
+        del document["kind"]
+        service.submit(document)
+        with pytest.raises(DeltaLogError, match="batch"):
+            service.submit_delta("b1", {"seq": 2, "rows": [["a"]]})
+
+    def test_delta_to_unknown_job_is_keyerror(self, service):
+        with pytest.raises(KeyError):
+            service.submit_delta("ghost", {"seq": 2, "rows": [["a"]]})
+
+    def test_malformed_delta_documents(self, service):
+        service.submit(live_doc("l1"))
+        for bad in (
+            [],  # not a dict
+            {"rows": [["a"]]},  # no seq
+            {"seq": 2},  # no rows
+            {"seq": True, "rows": [["a"]]},  # bool seq
+            {"seq": 2, "rows": "ab"},  # string rows
+            {"seq": 2, "rows": [["a"]], "frobnicate": 1},  # unknown key
+        ):
+            with pytest.raises((ValueError, TypeError)):
+                service.submit_delta("l1", bad)
+
+    def test_cancel_closes_session(self, service):
+        service.submit(live_doc("l1"))
+        assert service.cancel_job("l1") == CANCELLED
+        assert service.live_session("l1") is None
+        with pytest.raises(DeltaLogError):
+            service.submit_delta("l1", {"seq": 2, "rows": [["a"]]})
+
+    def test_close_reopen_recovers_session(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        svc = MiningService(state_dir, n_slots=0)
+        try:
+            svc.submit(live_doc("l1"))
+            svc.submit_delta(
+                "l1", {"seq": 2, "rows": DELTAS[2], "wait": True}
+            )
+        finally:
+            svc.close()
+        svc = MiningService(state_dir, n_slots=0)
+        try:
+            assert svc.get_job("l1").state == RUNNING
+            session = svc.live_session("l1")
+            assert session is not None
+            # The re-opened session remembers both batches...
+            assert session.miner.log.watermark == 2
+            # ...dedupes a client retrying the last ACKed delta...
+            receipt = svc.submit_delta(
+                "l1", {"seq": 2, "rows": DELTAS[2]}
+            )
+            assert receipt.status == "duplicate"
+            # ...and keeps ingesting with exact parity.
+            svc.submit_delta(
+                "l1", {"seq": 3, "rows": DELTAS[3], "wait": True}
+            )
+            document = session.rules_document()
+            assert json.dumps(
+                document["rules"], sort_keys=True
+            ) == oracle_rules(all_rows(upto=3))
+        finally:
+            svc.close()
+
+    def test_backpressure_when_applier_paused(self, service):
+        service.submit(live_doc("l1"))
+        session = service.live_session("l1")
+        session.wait_applied(1)
+        session.pause()
+        try:
+            rejected = None
+            for seq in range(2, 2 + session.max_backlog + 2):
+                try:
+                    service.submit_delta(
+                        "l1", {"seq": seq, "rows": [["a", "b"]]}
+                    )
+                except Exception as error:
+                    rejected = error
+                    break
+            assert rejected is not None
+            assert getattr(rejected, "status", None) == 429
+            assert getattr(rejected, "kind", None) == "wal-backlog"
+            assert rejected.retry_after is not None
+        finally:
+            session.resume()
+        # Once the applier drains, the same delta is admitted.
+        assert session.wait_applied(session.miner.log.watermark)
+
+
+# ----------------------------------------------------------------------
+# HTTP surface: deltas, status codes, long-poll, live run pages
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def served(tmp_path):
+    svc = MiningService(
+        str(tmp_path / "state"), n_slots=0, serve=True,
+        max_live_backlog=4,
+    )
+    try:
+        yield svc, svc.server.url
+    finally:
+        svc.close()
+
+
+class TestLiveHTTP:
+    def test_delta_lifecycle_over_http(self, served):
+        service, base = served
+        code, document, _ = http("POST", base + "/jobs", live_doc("l1"))
+        assert code == 201
+        assert document["state"] == RUNNING
+        assert document["spec"]["kind"] == "live"
+        assert "live" in document
+
+        # Fresh commits: 202 (or 200 if the applier already folded
+        # them by the time the response was built).
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 2, "rows": DELTAS[2]},
+        )
+        assert code in (200, 202)
+        assert body["status"] == "committed"
+        assert body["watermark"] == 2
+
+        # wait:true answers 200 with the enriched churn receipt.
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 3, "rows": DELTAS[3], "wait": True},
+        )
+        assert code == 200
+        assert body["applied_seq"] >= 3
+        assert body["n_rules"] >= 0
+
+        # Duplicate: explicit dedup response, still 200.
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 3, "rows": DELTAS[3]},
+        )
+        assert (code, body["status"]) == (200, "duplicate")
+
+        # Out-of-order: 409 naming the expected sequence.
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 9, "rows": [["a"]]},
+        )
+        assert code == 409
+        assert body["kind"] == "out-of-order"
+        assert body["expected"] == 4
+
+        # Mismatched duplicate payload: 409.
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 3, "rows": [["zzz"]]},
+        )
+        assert (code, body["kind"]) == (409, "mismatch")
+
+        # Malformed body: 400.
+        assert http(
+            "POST", base + "/jobs/l1/deltas", {"rows": [["a"]]}
+        )[0] == 400
+
+        # Unknown job: 404.
+        assert http(
+            "POST", base + "/jobs/ghost/deltas",
+            {"seq": 1, "rows": [["a"]]},
+        )[0] == 404
+
+        # The live result document tracks everything ingested so far.
+        code, result, _ = http("GET", base + "/jobs/l1/result")
+        assert code == 200
+        assert result["kind"] == "live"
+        assert json.dumps(
+            result["rules"], sort_keys=True
+        ) == oracle_rules(all_rows(upto=3))
+
+        # /runs/<id> serves the live status fields.
+        code, run_page, _ = http("GET", base + "/runs/l1")
+        assert code == 200
+        assert run_page["live"]["watermark"] == 3
+        assert run_page["live"]["applied_seq"] == 3
+        assert run_page["backlog"] == 0
+
+        # DELETE cancels; a further delta is a 409 conflict.
+        code, body, _ = http("DELETE", base + "/jobs/l1")
+        assert (code, body["state"]) == (200, CANCELLED)
+        code, body, _ = http(
+            "POST", base + "/jobs/l1/deltas",
+            {"seq": 4, "rows": DELTAS[4]},
+        )
+        assert (code, body["kind"]) == (409, "conflict")
+
+    def test_backlog_cap_is_429_with_retry_after(self, served):
+        service, base = served
+        http("POST", base + "/jobs", live_doc("l1"))
+        session = service.live_session("l1")
+        session.wait_applied(1)
+        session.pause()
+        try:
+            seq, rejected = 2, None
+            while seq < 20:
+                code, body, headers = http(
+                    "POST", base + "/jobs/l1/deltas",
+                    {"seq": seq, "rows": [["a", "b"]]},
+                )
+                if code == 429:
+                    rejected = (body, headers)
+                    break
+                assert code in (200, 202)
+                seq += 1
+            assert rejected is not None
+            body, headers = rejected
+            assert body["kind"] == "wal-backlog"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            session.resume()
+
+    def test_long_poll_waits_for_batch_completion(self, tmp_path):
+        svc = MiningService(
+            str(tmp_path / "state"), n_slots=1, serve=True
+        )
+        try:
+            base = svc.server.url
+            document = live_doc("b1", transactions=[["a", "b"]] * 50)
+            del document["kind"]
+            code, _, _ = http("POST", base + "/jobs", document)
+            assert code == 201
+            started = time.monotonic()
+            code, body, _ = http(
+                "GET", base + "/jobs/b1?wait=30", timeout=40
+            )
+            assert code == 200
+            assert body["state"] == DONE
+            assert time.monotonic() - started < 30
+        finally:
+            svc.close()
+
+    def test_long_poll_times_out_with_current_state(self, served):
+        service, base = served
+        # A live job never leaves RUNNING: the wait must expire and
+        # still answer 200 with the current document.
+        http("POST", base + "/jobs", live_doc("l1"))
+        started = time.monotonic()
+        code, body, _ = http("GET", base + "/jobs/l1?wait=0.3")
+        assert code == 200
+        assert body["state"] == RUNNING
+        assert time.monotonic() - started >= 0.3
+
+    def test_long_poll_rejects_bad_wait(self, served):
+        service, base = served
+        http("POST", base + "/jobs", live_doc("l1"))
+        assert http("GET", base + "/jobs/l1?wait=soon")[0] == 400
+
+
+# ----------------------------------------------------------------------
+# Scheduler retry jitter (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestRetryJitter:
+    def make(self, tmp_path, **kwargs):
+        index = JobIndex(str(tmp_path / "idx"))
+        scheduler = Scheduler(index, n_slots=0, **kwargs)
+        scheduler.close()
+        return scheduler
+
+    def test_delay_within_jitter_band(self, tmp_path):
+        scheduler = self.make(
+            tmp_path, retry_jitter=0.5,
+            retry_rng=random.Random(42),
+        )
+        for attempt in range(1, 8):
+            base = min(
+                backoff_delay(attempt - 1, scheduler.retry_base_delay),
+                MAX_RETRY_DELAY,
+            )
+            for _ in range(50):
+                delay = scheduler.retry_delay(attempt)
+                assert base * 0.5 <= delay <= base
+
+    def test_zero_jitter_is_exact_backoff(self, tmp_path):
+        scheduler = self.make(tmp_path, retry_jitter=0.0)
+        for attempt in range(1, 8):
+            assert scheduler.retry_delay(attempt) == min(
+                backoff_delay(attempt - 1, scheduler.retry_base_delay),
+                MAX_RETRY_DELAY,
+            )
+
+    def test_jitter_spreads_simultaneous_retries(self, tmp_path):
+        scheduler = self.make(
+            tmp_path, retry_rng=random.Random(7)
+        )
+        delays = {scheduler.retry_delay(3) for _ in range(20)}
+        assert len(delays) > 10  # a thundering herd would see 1
+
+    def test_jitter_validation(self, tmp_path):
+        index = JobIndex(str(tmp_path / "idx"))
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="retry_jitter"):
+                Scheduler(index, n_slots=0, retry_jitter=bad)
+
+    def test_seeded_rng_is_deterministic(self, tmp_path):
+        first = self.make(tmp_path, retry_rng=random.Random(3))
+        second = self.make(tmp_path, retry_rng=random.Random(3))
+        assert [first.retry_delay(2) for _ in range(5)] == [
+            second.retry_delay(2) for _ in range(5)
+        ]
+
+
+# ----------------------------------------------------------------------
+# The watch CLI (satellite surface)
+# ----------------------------------------------------------------------
+
+
+class TestWatchCLI:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["watch", "state", "--job", "l1", "--no-follow"]
+        )
+        assert args.command == "watch"
+        assert args.path == "state"
+        assert args.job == "l1"
+        assert args.no_follow is True
+        args = build_parser().parse_args(["watch", "j.jsonl"])
+        assert args.no_follow is False
+        assert args.from_start is False
+
+    def test_no_follow_renders_live_events(self, tmp_path, capsys):
+        service = MiningService(str(tmp_path / "state"), n_slots=0)
+        try:
+            service.submit(live_doc("l1"))
+            service.submit_delta(
+                "l1", {"seq": 2, "rows": DELTAS[2], "wait": True}
+            )
+        finally:
+            service.close()
+        journal = os.path.join(str(tmp_path / "state"), "service.jsonl")
+        assert cli_main(["watch", journal, "--no-follow"]) == 0
+        out = capsys.readouterr().out
+        assert "[l1]" in out
+        assert "seq 2" in out
+        assert "applied" in out
+
+    def test_watch_accepts_state_dir(self, tmp_path, capsys):
+        service = MiningService(str(tmp_path / "state"), n_slots=0)
+        try:
+            service.submit(live_doc("l1"))
+        finally:
+            service.close()
+        code = cli_main(
+            ["watch", str(tmp_path / "state"), "--no-follow"]
+        )
+        assert code == 0
+        assert "l1" in capsys.readouterr().out
+
+    def test_job_filter(self, tmp_path, capsys):
+        service = MiningService(str(tmp_path / "state"), n_slots=0)
+        try:
+            service.submit(live_doc("l1"))
+            service.submit(live_doc("l2"))
+        finally:
+            service.close()
+        cli_main(
+            ["watch", str(tmp_path / "state"), "--no-follow",
+             "--job", "l2"]
+        )
+        out = capsys.readouterr().out
+        assert "[l2]" in out
+        assert "[l1]" not in out
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        code = cli_main(
+            ["watch", str(tmp_path / "nope.jsonl"), "--no-follow"]
+        )
+        assert code == 1
+        assert "cannot read journal" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Subprocess chaos: kill -9 under a delta retry storm
+# ----------------------------------------------------------------------
+
+
+def launch_serve(state_dir, *extra):
+    environment = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    environment["PYTHONPATH"] = os.path.join(root, "src")
+    try:
+        os.unlink(os.path.join(state_dir, "service.url"))
+    except OSError:
+        pass
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", state_dir, "--slots", "1", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=environment,
+    )
+    url_file = os.path.join(state_dir, "service.url")
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if os.path.exists(url_file):
+            with open(url_file) as handle:
+                return process, handle.read().strip()
+        if process.poll() is not None:
+            raise AssertionError(
+                "serve exited early:\n"
+                + process.stdout.read().decode("utf-8", "replace")
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("serve did not publish its URL in time")
+
+
+def push_until_acked(base, job_id, seq, rows, deadline=60.0):
+    """A retrying client: re-deliver one delta until the service
+    acknowledges it (fresh commit OR duplicate both count)."""
+    stop = time.monotonic() + deadline
+    while time.monotonic() < stop:
+        try:
+            code, body, _ = http(
+                "POST", f"{base}/jobs/{job_id}/deltas",
+                {"seq": seq, "rows": rows, "wait": True},
+            )
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.1)
+            continue
+        if code in (200, 202):
+            return body
+        if code == 429:
+            time.sleep(0.2)
+            continue
+        raise AssertionError(f"delta {seq} rejected: {code} {body}")
+    raise AssertionError(f"delta {seq} never acknowledged")
+
+
+@pytest.mark.slow
+class TestLiveChaos:
+    def test_kill9_mid_storm_exact_parity(self, tmp_path):
+        """SIGKILL the service while a client is pushing deltas; after
+        each restart the client re-delivers everything unACKed (and
+        some batches twice).  The final rule set must equal a one-shot
+        mine of the concatenated rows and every row count exactly once."""
+        state_dir = str(tmp_path / "state")
+        rng = random.Random(99)
+        labels = [f"c{i}" for i in range(10)]
+        batches = [
+            [
+                rng.sample(labels, rng.randint(1, 4))
+                for _ in range(rng.randint(5, 30))
+            ]
+            for _ in range(12)
+        ]
+        seed, deltas = batches[0], batches[1:]
+
+        process, base = launch_serve(state_dir)
+        code, _, _ = http(
+            "POST", base + "/jobs",
+            live_doc("storm", transactions=seed),
+        )
+        assert code == 201
+
+        kill_after = {3, 7}  # restart twice mid-storm
+        try:
+            for offset, rows in enumerate(deltas):
+                seq = offset + 2
+                push_until_acked(base, "storm", seq, rows)
+                if offset in kill_after:
+                    process.kill()
+                    process.wait(timeout=10)
+                    process, base = launch_serve(state_dir)
+                    # Retry storm: re-deliver everything ACKed so far;
+                    # each must come back as an explicit duplicate.
+                    for past_offset in range(offset + 1):
+                        body = push_until_acked(
+                            base, "storm", past_offset + 2,
+                            deltas[past_offset],
+                        )
+                        assert body["status"] == "duplicate"
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+        # A final clean restart: the recovered session must hold the
+        # exact one-shot rule set over every row, counted once.
+        process, base = launch_serve(state_dir)
+        try:
+            code, result, _ = http("GET", base + "/jobs/storm/result")
+            assert code == 200
+            everything = [row for batch in batches for row in batch]
+            assert result["n_rows"] == len(everything)
+            assert json.dumps(
+                result["rules"], sort_keys=True
+            ) == oracle_rules(everything)
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+    def test_sigterm_drain_then_resume(self, tmp_path):
+        """A graceful SIGTERM closes sessions cleanly; the next boot
+        re-opens them and keeps ingesting from the same watermark."""
+        state_dir = str(tmp_path / "state")
+        process, base = launch_serve(state_dir)
+        assert http(
+            "POST", base + "/jobs", live_doc("l1")
+        )[0] == 201
+        push_until_acked(base, "l1", 2, DELTAS[2])
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+
+        process, base = launch_serve(state_dir)
+        try:
+            code, body, _ = http("GET", base + "/jobs/l1")
+            assert (code, body["state"]) == (200, RUNNING)
+            push_until_acked(base, "l1", 3, DELTAS[3])
+            code, result, _ = http("GET", base + "/jobs/l1/result")
+            assert json.dumps(
+                result["rules"], sort_keys=True
+            ) == oracle_rules(all_rows(upto=3))
+        finally:
+            process.kill()
+            process.wait(timeout=10)
