@@ -165,6 +165,36 @@ def test_micro_overhead_full_telemetry(
     benchmark.extra_info["rules"] = len(rules)
 
 
+def test_micro_overhead_trace_profile(
+    benchmark, overhead_workload, tmp_path_factory
+):
+    """Tracing observer + sampling profiler both on (<5%).
+
+    The profiler samples the benchmark thread itself, so every round
+    runs under live 100 Hz stack sampling — the configuration
+    ``MiningConfig(profile=)`` turns on.
+    """
+    from repro.observe import RunObserver, SamplingProfiler
+
+    policy = ImplicationPolicy(overhead_workload.column_ones(), 0.8)
+    scratch = tmp_path_factory.mktemp("profile")
+    observer = RunObserver(run_id="bench-run")
+    profiler = SamplingProfiler(str(scratch / "bench.folded")).start()
+    try:
+        rules = benchmark.pedantic(
+            miss_counting_scan,
+            args=(overhead_workload, policy),
+            kwargs={"observer": observer},
+            rounds=15,
+            iterations=1,
+            warmup_rounds=2,
+        )
+    finally:
+        profiler.stop()
+    benchmark.extra_info["rules"] = len(rules)
+    benchmark.extra_info["profile_samples"] = profiler.samples
+
+
 def test_micro_bitmap_miss_counting(benchmark):
     """popcount(a & ~b) on packed bitmaps, the Phase-1 primitive."""
     rng = np.random.default_rng(0)

@@ -7,9 +7,11 @@ scans against the ``test_micro_overhead_no_hooks`` baseline:
 - ``test_micro_overhead_null_observer`` — the *disabled* observer,
   which must cost one attribute check per row;
 - ``test_micro_overhead_full_telemetry`` — journal + live ``/metrics``
-  server + pruning-curve sampling all on.
+  server + pruning-curve sampling all on;
+- ``test_micro_overhead_trace_profile`` — tracing observer plus the
+  5ms sampling profiler (``MiningConfig(profile=)``).
 
-Both must stay within the threshold (default 5%), which is the CI
+All must stay within the threshold (default 5%), which is the CI
 benchmark-smoke contract: observability must be free when off and
 near-free when on.
 
@@ -35,6 +37,7 @@ BASELINE = "test_micro_overhead_no_hooks"
 CANDIDATES = (
     ("test_micro_overhead_null_observer", "disabled-observer"),
     ("test_micro_overhead_full_telemetry", "full-telemetry"),
+    ("test_micro_overhead_trace_profile", "trace+profiler"),
 )
 
 #: Ignore differences below this many seconds regardless of ratio.

@@ -168,6 +168,14 @@ class MiningConfig:
         completion — including a SIGTERM unwinding through
         :func:`repro.runtime.supervisor.graceful_interrupts`.
 
+    profile:
+        Write a sampling wall-clock profile of the run to this path, in
+        folded-stack format (``module:func;module:func count`` lines,
+        ready for a flamegraph tool).  The profiler is a stdlib-only
+        daemon thread sampling ``sys._current_frames()`` every few
+        milliseconds — opt-in and cheap, but not free; leave ``None``
+        (the default) for production runs.
+
     ``journal_path`` / ``serve_metrics_port`` need a
     :class:`~repro.observe.RunObserver`; one is created automatically
     when ``observer`` is absent or is a plain progress sink.
@@ -197,6 +205,7 @@ class MiningConfig:
     run_id: Optional[str] = None
     journal_path: Optional[str] = None
     serve_metrics_port: Optional[int] = None
+    profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -266,6 +275,12 @@ class MiningConfig:
         ):
             raise ValueError(
                 "serve_metrics_port must be a TCP port (0 for ephemeral)"
+            )
+        if self.profile is not None and (
+            not isinstance(self.profile, str) or not self.profile.strip()
+        ):
+            raise ValueError(
+                "profile must be a path for the folded-stack output"
             )
 
 
@@ -601,6 +616,12 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
         interruptible = graceful_interrupts()
     else:
         interruptible = nullcontext()
+    profiler = None
+    if config.profile is not None:
+        from repro.observe.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler(config.profile, storage=config.storage)
+        profiler.start()
     try:
         with interruptible:
             rules, engine = _run_plan(
@@ -623,6 +644,16 @@ def mine(data, *, config: Optional[MiningConfig] = None, **kwargs):
             )
         raise
     finally:
+        if profiler is not None:
+            try:
+                profiler.stop()
+            except OSError as error:
+                # Same ladder as the journal: telemetry output must
+                # never abort a finished mine.
+                warnings.warn(
+                    f"profile not written: {error}", RuntimeWarning,
+                    stacklevel=2,
+                )
         if server is not None:
             server.close()
         if journal is not None:

@@ -194,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "/runs/<run_id> on 127.0.0.1:PORT while mining "
                  "(0 picks an ephemeral port)",
         )
+        sub.add_argument(
+            "--profile", metavar="PATH", default=None,
+            help="sample the run's wall-clock stacks and write them "
+                 "to PATH in folded format (feed to flamegraph.pl or "
+                 "speedscope)",
+        )
 
     agent = subparsers.add_parser(
         "agent",
@@ -256,6 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="after printing the tail, keep following the journal as "
              "it grows (tail -F: survives truncation and rotation; "
              "stop with Ctrl-C)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect a span-trace file (a --trace document or a "
+             "service trace archive)",
+    )
+    trace.add_argument(
+        "action", choices=("export", "summarize"),
+        help="export: convert to Chrome-trace JSON (load in Perfetto "
+             "or chrome://tracing); summarize: print a per-span-name "
+             "duration table",
+    )
+    trace.add_argument("path", help="trace JSON file")
+    trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="with export: write the Chrome trace here instead of "
+             "stdout",
     )
 
     watch = subparsers.add_parser(
@@ -527,6 +551,7 @@ def _mine(args: argparse.Namespace) -> int:
                 observer=observer,
                 journal_path=getattr(args, "journal", None),
                 serve_metrics_port=serve_port,
+                profile=getattr(args, "profile", None),
                 **engine_kwargs,
                 **supervised,
                 **threshold,
@@ -635,6 +660,31 @@ def _journal(args: argparse.Namespace) -> int:
             seconds = phase["seconds"]
             timing = "?" if seconds is None else f"{seconds:.3f}s"
             print(f"  {phase['name']:24s} {timing}")
+    if summary.get("span_table"):
+        print("spans:")
+        for row in summary["span_table"]:
+            print(
+                f"  {row['name']:24s} x{row['count']:<4d} "
+                f"total {row['total_seconds']:.3f}s  "
+                f"mean {row['mean_seconds']:.3f}s  "
+                f"max {row['max_seconds']:.3f}s"
+            )
+    deltas = summary.get("deltas")
+    if deltas:
+        line = (
+            f"live deltas: {deltas['batches']} batches, "
+            f"{deltas['rows']} rows, +{deltas['appeared']}"
+            f"/-{deltas['disappeared']} rules"
+        )
+        if deltas.get("n_rules") is not None:
+            line += f" ({deltas['n_rules']} now)"
+        if deltas.get("readmitted"):
+            line += f", readmitted {deltas['readmitted']}"
+        if deltas.get("replayed_rows"):
+            line += f", replayed {deltas['replayed_rows']} rows"
+        if deltas.get("degraded"):
+            line += f", degraded {deltas['degraded']}x"
+        print(line)
     events = " ".join(
         f"{name}={count}"
         for name, count in sorted(summary["events"].items())
@@ -656,6 +706,79 @@ def _journal(args: argparse.Namespace) -> int:
         print(
             f"pruning curve [{scan}]: {len(points)} points, final "
             f"rows={rows} live={live} misses={misses} rules={rules}"
+        )
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observe import Tracer, trace_to_chrome, write_chrome_trace
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.path}: {error}", file=sys.stderr)
+        return 1
+    if not isinstance(document, dict):
+        print(f"not a trace document: {args.path}", file=sys.stderr)
+        return 1
+
+    if args.action == "export":
+        chrome = (
+            document
+            if "traceEvents" in document
+            else trace_to_chrome(document)
+        )
+        if args.out:
+            write_chrome_trace(chrome, args.out)
+            print(f"wrote Chrome trace to {args.out}", file=sys.stderr)
+        else:
+            print(json.dumps(chrome, indent=2))
+        return 0
+
+    if "traceEvents" in document:
+        print(
+            "summarize needs the native trace document, not a "
+            "Chrome-trace export",
+            file=sys.stderr,
+        )
+        return 1
+    tracer = Tracer.from_dict(document)
+
+    def walk(span):
+        yield span
+        for child in span.children:
+            for descendant in walk(child):
+                yield descendant
+
+    table, order = {}, []
+    total_spans, failed_spans = 0, 0
+    for root in tracer.spans:
+        for span in walk(root):
+            total_spans += 1
+            if span.attributes.get("failed"):
+                failed_spans += 1
+            row = table.get(span.name)
+            if row is None:
+                row = table[span.name] = {
+                    "count": 0, "seconds": 0.0, "max": 0.0,
+                }
+                order.append(span.name)
+            row["count"] += 1
+            row["seconds"] += span.seconds
+            row["max"] = max(row["max"], span.seconds)
+    trace_id = tracer.trace_id or "<no trace id>"
+    header = f"trace {trace_id}: {total_spans} spans"
+    if failed_spans:
+        header += f" ({failed_spans} on failed attempts)"
+    print(header)
+    for name in order:
+        row = table[name]
+        print(
+            f"  {name:24s} x{row['count']:<4d} "
+            f"total {row['seconds']:.3f}s  max {row['max']:.3f}s"
         )
     return 0
 
@@ -864,6 +987,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _mine(args)
     if args.command == "journal":
         return _journal(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "watch":
         return _watch(args)
     if args.command == "agent":

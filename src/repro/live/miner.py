@@ -103,6 +103,11 @@ class LiveMiner:
     ``replay_budget_rows``: a re-admission replay over more retained
     rows than this degrades to the journalled full re-mine instead
     (None = always replay exactly).
+
+    ``tracer`` (optional :class:`~repro.observe.tracer.Tracer`)
+    records one ``delta-apply`` span per applied batch — carrying the
+    tracer's ``trace_id``, so live spans join the same end-to-end
+    trace as a batch job's attempt spans.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class LiveMiner:
         journal=None,
         journal_extra: Optional[Dict[str, object]] = None,
         status=None,
+        tracer=None,
         snapshot_every: int = 4,
         replay_budget_rows: Optional[int] = None,
     ) -> None:
@@ -131,6 +137,7 @@ class LiveMiner:
         self.journal = journal
         self.journal_extra = dict(journal_extra or {})
         self.status = status
+        self.tracer = tracer
         self.snapshot_every = snapshot_every
         self.replay_budget_rows = replay_budget_rows
         self.log = DeltaLog(
@@ -274,7 +281,21 @@ class LiveMiner:
         while self.applied_seq < self.log.watermark:
             seq = self.applied_seq + 1
             rows = self.log.read(seq)
-            receipts.append(self._apply_batch(seq, rows, recovered))
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "delta-apply", seq=seq, rows=len(rows),
+                    trace_id=self.tracer.trace_id, recovered=recovered,
+                ) as span:
+                    receipt = self._apply_batch(seq, rows, recovered)
+                span.attributes.update(
+                    appeared=receipt.appeared,
+                    disappeared=receipt.disappeared,
+                    readmitted=receipt.readmitted,
+                    n_rules=receipt.n_rules,
+                )
+            else:
+                receipt = self._apply_batch(seq, rows, recovered)
+            receipts.append(receipt)
         return receipts
 
     # -- the four-step apply -------------------------------------------

@@ -41,6 +41,8 @@ from repro.observe.exporters import (
     load_metrics,
     load_trace,
     metrics_format_for,
+    trace_to_chrome,
+    write_chrome_trace,
     write_metrics,
     write_trace,
 )
@@ -66,8 +68,9 @@ from repro.observe.progress import (
     NullObserver,
     ProgressObserver,
 )
+from repro.observe.profiler import SamplingProfiler
 from repro.observe.run import RunObserver, new_run_id
-from repro.observe.server import MetricsServer
+from repro.observe.server import MetricsServer, route_label
 from repro.observe.tracer import Span, Tracer
 
 __all__ = [
@@ -84,6 +87,7 @@ __all__ = [
     "ProgressObserver",
     "RunJournal",
     "RunObserver",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "follow_journal",
@@ -93,8 +97,11 @@ __all__ = [
     "metrics_format_for",
     "new_run_id",
     "read_journal",
+    "route_label",
     "summarize_journal",
     "tail_journal",
+    "trace_to_chrome",
+    "write_chrome_trace",
     "write_metrics",
     "write_trace",
 ]

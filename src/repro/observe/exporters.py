@@ -67,6 +67,101 @@ def write_trace(tracer: Tracer, path: str, storage=None) -> None:
     _atomic_write(path, tracer.to_json() + "\n", storage=storage)
 
 
+def trace_to_chrome(document: dict, process_name: str = "repro") -> dict:
+    """Convert a native trace document to Chrome-trace (Catapult) JSON.
+
+    The output is the ``{"traceEvents": [...]}`` object format that
+    both ``chrome://tracing`` and https://ui.perfetto.dev load
+    directly: one ``"X"`` (complete) event per span with microsecond
+    ``ts``/``dur``, plus ``"M"`` metadata events naming the process
+    and per-track threads.
+
+    Track (``tid``) assignment mirrors the system's concurrency: each
+    top-level span gets its own track, and a subtree tagged with a
+    ``worker_id`` attribute — a span tree shipped back from a worker
+    process or node agent — moves onto a per-worker track, since its
+    timestamps come from that worker's own clock.  Span attributes
+    (including the propagated ``trace_id``) ride in ``args``.
+    """
+    trace_id = document.get("trace_id")
+    events = []
+    track_names = {}
+    worker_tracks = {}
+    next_tid = [0]
+
+    def allocate(name: str) -> int:
+        next_tid[0] += 1
+        track_names[next_tid[0]] = name
+        return next_tid[0]
+
+    def emit(span: dict, tid: int) -> None:
+        attributes = dict(span.get("attributes") or {})
+        worker_id = attributes.get("worker_id")
+        if worker_id is not None:
+            key = str(worker_id)
+            if key not in worker_tracks:
+                worker_tracks[key] = allocate(f"worker {key}")
+            tid = worker_tracks[key]
+        if trace_id is not None:
+            attributes.setdefault("trace_id", trace_id)
+        events.append(
+            {
+                "name": str(span.get("name", "")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(float(span.get("start_seconds", 0.0)) * 1e6, 3),
+                "dur": round(float(span.get("seconds", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": attributes,
+            }
+        )
+        for child in span.get("children") or []:
+            emit(child, tid)
+
+    for span in document.get("spans") or []:
+        emit(span, allocate(str(span.get("name", "span"))))
+
+    metadata = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted(track_names):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track_names[tid]},
+            }
+        )
+    chrome = {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+    if trace_id is not None:
+        chrome["otherData"] = {"trace_id": str(trace_id)}
+    return chrome
+
+
+def write_chrome_trace(document, path: str, storage=None) -> None:
+    """Write a trace as Chrome-trace JSON ready for Perfetto.
+
+    ``document`` may be a :class:`~repro.observe.tracer.Tracer`, a
+    native trace dict, or an already-converted Chrome document.
+    """
+    if isinstance(document, Tracer):
+        document = document.to_dict()
+    if "traceEvents" not in document:
+        document = trace_to_chrome(document)
+    _atomic_write(
+        path, json.dumps(document, indent=2) + "\n", storage=storage
+    )
+
+
 def load_trace(path: str) -> dict:
     """Read back a trace document written by :func:`write_trace`."""
     with open(path, "r", encoding="utf-8") as handle:

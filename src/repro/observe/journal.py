@@ -63,6 +63,8 @@ KNOWN_EVENTS = (
     "rule-appear",
     "rule-disappear",
     "live-degrade",
+    # HTTP access log (one per request served, see observe/server.py):
+    "http-request",
 )
 
 #: A ``rules-milestone`` event fires each time the emitted-rule count
@@ -353,12 +355,38 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
     journal records every sample the engine took, including the
     decimation survivors' re-samples; the reconstruction keeps the
     last record per row, mirroring ``sample_final``).
+
+    Two aggregate views ride along:
+
+    - ``span_table`` — per-phase-name duration aggregates (count /
+      total / mean / max seconds) folded over every ``phase-end``, so
+      a run that enters the same phase once per bucket or per delta
+      batch still summarizes to one row per phase;
+    - ``deltas`` — continuous-mining totals folded over the
+      ``delta-applied`` events (batches, rows, rule churn,
+      re-admissions, replayed rows, degradations), which a live job's
+      journal carries instead of a single run-end record.
     """
     event_counts: Dict[str, int] = {}
     phases: List[Dict[str, object]] = []
     incidents: List[Dict[str, object]] = []
     curves: Dict[str, Dict[int, Tuple[int, int, int, int]]] = {}
     curve_orders: Dict[str, List[int]] = {}
+    span_table: Dict[str, Dict[str, float]] = {}
+    span_order: List[str] = []
+    deltas: Dict[str, object] = {
+        "batches": 0,
+        "rows": 0,
+        "appeared": 0,
+        "disappeared": 0,
+        "changed": 0,
+        "readmitted": 0,
+        "replayed_rows": 0,
+        "degraded": 0,
+        "recovered": 0,
+        "n_rules": None,
+        "last_seq": None,
+    }
     run_id = None
     engine = None
     vector_block_rows = None
@@ -386,6 +414,21 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
                 if phase["name"] == record.get("name"):
                     phase["seconds"] = record.get("seconds")
                     break
+            name = str(record.get("name"))
+            seconds = record.get("seconds")
+            if seconds is not None:
+                row = span_table.get(name)
+                if row is None:
+                    row = span_table[name] = {
+                        "count": 0, "total_seconds": 0.0,
+                        "max_seconds": 0.0,
+                    }
+                    span_order.append(name)
+                row["count"] += 1
+                row["total_seconds"] += float(seconds)
+                row["max_seconds"] = max(
+                    row["max_seconds"], float(seconds)
+                )
         elif event in (
             "bitmap-switch", "guard-trip", "degradation", "task-retry",
             "task-quarantined", "worker-restart", "lease-expired",
@@ -404,6 +447,21 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
             if point[0] not in per_scan:
                 curve_orders.setdefault(scan, []).append(point[0])
             per_scan[point[0]] = point
+        elif event == "delta-applied":
+            deltas["batches"] += 1
+            for key in (
+                "rows", "appeared", "disappeared", "changed",
+                "readmitted", "replayed_rows",
+            ):
+                deltas[key] += int(record.get(key) or 0)
+            if record.get("degraded"):
+                deltas["degraded"] += 1
+            if record.get("recovered"):
+                deltas["recovered"] += 1
+            if record.get("n_rules") is not None:
+                deltas["n_rules"] = record.get("n_rules")
+            if record.get("seq") is not None:
+                deltas["last_seq"] = record.get("seq")
         elif event == "run-end":
             rules_final = record.get("rules", rules_final)
     return {
@@ -413,6 +471,20 @@ def summarize_journal(path: str, storage=None) -> Dict[str, object]:
         "vector_block_rows": vector_block_rows,
         "events": event_counts,
         "phases": phases,
+        "span_table": [
+            {
+                "name": name,
+                "count": int(span_table[name]["count"]),
+                "total_seconds": span_table[name]["total_seconds"],
+                "mean_seconds": (
+                    span_table[name]["total_seconds"]
+                    / span_table[name]["count"]
+                ),
+                "max_seconds": span_table[name]["max_seconds"],
+            }
+            for name in span_order
+        ],
+        "deltas": deltas if deltas["batches"] else None,
         "incidents": incidents,
         "pruning_curves": {
             scan: [list(per_scan[row]) for row in curve_orders[scan]]

@@ -402,9 +402,17 @@ class RunObserver(ProgressObserver):
         *accepted* attempts — merge counters and histograms too, and
         re-parent the worker's span tree under a ``task`` span tagged
         with the task, attempt and worker ids.
+
+        A final payload carrying ``failed: True`` is a *rejected*
+        attempt's telemetry (corrupt result, validation failure, stale
+        double): its span tree still joins the trace — tagged
+        ``failed`` with the rejection reason, so a retry storm is
+        visible span by span — but none of its metrics merge, which is
+        what keeps the aggregated totals equal to a clean run's.
         """
+        failed = bool(payload.get("failed"))
         metrics_document = payload.get("metrics")
-        if metrics_document:
+        if metrics_document and not failed:
             if final:
                 self.metrics.merge_document(metrics_document)
             else:
@@ -417,21 +425,30 @@ class RunObserver(ProgressObserver):
                 for record in payload.get("spans") or []
             ]
             worker_id = str(payload.get("worker_id", "?"))
+            attributes = {
+                "task_id": payload.get("task_id"),
+                "attempt": payload.get("attempt"),
+                "worker_id": worker_id,
+            }
+            if failed:
+                attributes["failed"] = True
+                if payload.get("failed_reason"):
+                    attributes["failed_reason"] = str(
+                        payload["failed_reason"]
+                    )
             task_span = Span(
                 name="task",
                 start_seconds=0.0,
                 seconds=payload.get(
                     "seconds", sum(child.seconds for child in children)
                 ),
-                attributes={
-                    "task_id": payload.get("task_id"),
-                    "attempt": payload.get("attempt"),
-                    "worker_id": worker_id,
-                },
+                attributes=attributes,
                 children=children,
             )
             for child in children:
                 child.annotate_tree(worker_id=worker_id)
+                if failed:
+                    child.annotate_tree(failed=True)
             self.tracer.attach(task_span)
         if self.progress.enabled:
             self.progress.on_worker_telemetry(payload, final)

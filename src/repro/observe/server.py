@@ -39,6 +39,8 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -50,6 +52,39 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Heartbeat age (seconds) past which ``/healthz`` flags a worker.
 WORKER_STALE_SECONDS = 10.0
+
+#: Bucket bounds (seconds) for the HTTP request-duration histogram.
+REQUEST_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 60.0,
+)
+
+#: First path segments whose requests get a real route label; anything
+#: else collapses to ``<other>`` so hostile paths cannot explode the
+#: ``route`` label's cardinality.
+KNOWN_ROUTE_HEADS = ("metrics", "healthz", "runs", "jobs")
+
+#: Literal sub-resource segments preserved in route labels (an id
+#: segment between them is replaced by ``<id>``).
+ROUTE_TAILS = ("trace", "result", "deltas")
+
+
+def route_label(path: str) -> str:
+    """Collapse a request path to a bounded route pattern.
+
+    ``/jobs/job-1b2c/result`` becomes ``/jobs/<id>/result`` — the
+    label RED metrics aggregate under.  Unknown route families fold to
+    ``<other>``; raw paths never become label values.
+    """
+    path = path.split("?", 1)[0]
+    segments = [segment for segment in path.split("/") if segment]
+    if not segments:
+        return "/"
+    if segments[0] not in KNOWN_ROUTE_HEADS:
+        return "<other>"
+    pattern = [segments[0]]
+    for segment in segments[1:]:
+        pattern.append(segment if segment in ROUTE_TAILS else "<id>")
+    return "/" + "/".join(pattern)
 
 #: A ``handle_request`` return value:
 #: ``(status, content_type, body_bytes, extra_headers)``.
@@ -92,9 +127,15 @@ class MetricsServer:
         host: str = "127.0.0.1",
         status: Optional[LiveRunStatus] = None,
         connection_timeout: Optional[float] = None,
+        journal=None,
     ) -> None:
         self.registry = registry
         self.status = status
+        #: Optional :class:`~repro.observe.journal.RunJournal` the
+        #: per-request access-log events are emitted to.
+        self.journal = journal
+        #: Per-handler-thread request context (the current request id).
+        self._request_context = threading.local()
         if connection_timeout is not None:
             self.connection_timeout = connection_timeout
         server = self
@@ -125,7 +166,9 @@ class MetricsServer:
                     if length:
                         body = self.rfile.read(int(length))
                     code, content_type, payload, headers = (
-                        server.handle_request(method, self.path, body)
+                        server.dispatch_request(
+                            method, self.path, body, self.headers
+                        )
                     )
                     self._send(code, content_type, payload, headers)
                 except (
@@ -174,6 +217,100 @@ class MetricsServer:
     def url(self) -> str:
         """Base URL of the listener (e.g. ``http://127.0.0.1:8321``)."""
         return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Request-scoped instrumentation
+    # ------------------------------------------------------------------
+
+    def current_request_id(self) -> Optional[str]:
+        """The ``X-Request-Id`` of the request this thread is serving."""
+        return getattr(self._request_context, "request_id", None)
+
+    def resolve_tenant(self, method: str, path: str, body: bytes) -> str:
+        """The tenant label for a request; ``"-"`` when unknown.
+
+        The base metrics server is tenantless; the job API overrides
+        this to attribute each request to the owning tenant.
+        """
+        return "-"
+
+    def dispatch_request(
+        self, method: str, path: str, body: bytes, headers=None
+    ) -> Response:
+        """Instrumented request entry point (the HTTP handler's path).
+
+        Mints a request id — or echoes an incoming ``X-Request-Id``
+        header verbatim — before routing, holds it in a thread-local
+        so route handlers can stamp it onto whatever they create (a
+        submitted job's ``trace_id``), then records the RED metrics
+        and the access-log journal event and echoes the id back as a
+        response header.  ``handle_request`` stays the plain routing
+        seam tests and subclasses use directly.
+        """
+        request_id = None
+        if headers is not None:
+            request_id = headers.get("X-Request-Id")
+        if not request_id:
+            request_id = uuid.uuid4().hex[:16]
+        request_id = str(request_id).strip()[:128] or uuid.uuid4().hex[:16]
+        self._request_context.request_id = request_id
+        started = time.perf_counter()
+        status_code = 500
+        try:
+            response = self.handle_request(method, path, body)
+            status_code = response[0]
+        except ValueError:
+            status_code = 400
+            raise
+        finally:
+            duration = time.perf_counter() - started
+            self.record_request(
+                method, path, status_code, duration, request_id, body
+            )
+            self._request_context.request_id = None
+        code, content_type, payload, extra = response
+        merged = dict(extra or {})
+        merged.setdefault("X-Request-Id", request_id)
+        return code, content_type, payload, merged
+
+    def record_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration: float,
+        request_id: str,
+        body: bytes = b"",
+    ) -> None:
+        """Fold one served request into RED metrics and the journal."""
+        route = route_label(path)
+        try:
+            tenant = self.resolve_tenant(method, path, body)
+        except Exception:
+            tenant = "-"
+        prefix = self.registry.prefix
+        self.registry.counter(
+            f"{prefix}_http_requests_total",
+            "HTTP requests served, by route/method/status/tenant.",
+            route=route, method=method, status=str(int(status)),
+            tenant=tenant,
+        ).inc()
+        self.registry.histogram(
+            f"{prefix}_http_request_seconds",
+            "Wall-clock seconds spent handling HTTP requests.",
+            buckets=REQUEST_SECONDS_BUCKETS, route=route,
+        ).observe(duration)
+        journal = self.journal
+        if journal is not None:
+            journal.emit(
+                "http-request",
+                method=method,
+                route=route,
+                status=int(status),
+                duration_ms=round(duration * 1000.0, 3),
+                tenant=tenant,
+                request_id=request_id,
+            )
 
     # ------------------------------------------------------------------
     # Routing

@@ -79,10 +79,18 @@ class Span:
 
 
 class Tracer:
-    """Collects a forest of nested spans with wall-clock timings."""
+    """Collects a forest of nested spans with wall-clock timings.
 
-    def __init__(self) -> None:
+    ``trace_id`` is the originating request's identity: minted (or
+    echoed from ``X-Request-Id``) at the service edge and threaded
+    through every layer, it rides in the serialized document so a span
+    tree recovered from a trace archive still names the request that
+    caused it.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._origin = time.perf_counter()
+        self.trace_id = trace_id
         self.spans: List[Span] = []
         self._stack: List[Span] = []
 
@@ -134,11 +142,32 @@ class Tracer:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation of the whole trace."""
-        return {
+        document = {
             "version": TRACE_VERSION,
             "total_seconds": sum(span.seconds for span in self.spans),
             "spans": [span.to_dict() for span in self.spans],
         }
+        if self.trace_id is not None:
+            document["trace_id"] = self.trace_id
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "Tracer":
+        """Rebuild a tracer from a :meth:`to_dict` document.
+
+        The round trip is exact on everything that matters for
+        analysis — span names, offsets, durations, attributes,
+        nesting, ``trace_id`` — which is what lets a per-run trace
+        archive accumulate attempt trees across scheduler retries and
+        process restarts without drift.
+        """
+        trace_id = document.get("trace_id")
+        tracer = cls(trace_id=str(trace_id) if trace_id is not None else None)
+        tracer.spans = [
+            Span.from_dict(record)
+            for record in document.get("spans", [])
+        ]
+        return tracer
 
     def to_json(self, indent: int = 2) -> str:
         """The trace as a JSON document."""

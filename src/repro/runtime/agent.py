@@ -386,6 +386,10 @@ class NodeAgent:
                 "owner": self.node_id,
                 "token": committed.token,
             }
+            # Echo the trace context so the committed result names the
+            # originating request even when read far from the run.
+            if record.get("trace_id"):
+                document["trace_id"] = str(record["trace_id"])
             if error is not None:
                 document["error"] = error
             else:

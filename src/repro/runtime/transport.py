@@ -381,10 +381,19 @@ class LocalTransport(Transport):
 
         def fail(handle: Optional[_WorkerHandle], task, reason: str):
             nonlocal tiebreak
-            # A failed attempt's telemetry must never merge.
-            telemetry_buffer.pop(
+            # A failed attempt's metrics must never merge — but its
+            # span tree still belongs in the trace, tagged as failed,
+            # so a retry storm stays visible without double counting.
+            buffered = telemetry_buffer.pop(
                 (task.task_id, attempts.get(task.task_id)), None
             )
+            if buffered is not None:
+                failed_payload = dict(buffered)
+                failed_payload["failed"] = True
+                failed_payload["failed_reason"] = reason
+                supervisor._notify(
+                    "on_worker_telemetry", failed_payload, True
+                )
             count = failures.get(task.task_id, 0) + 1
             failures[task.task_id] = count
             if count > supervisor.task_retries:
@@ -706,19 +715,25 @@ class RemoteTransport(Transport):
         else:
             storage.remove(netfaults, missing_ok=True)
         fn_ref = function_ref(supervisor.fn)
+        # Trace context rides in every task file so a node agent can
+        # echo the originating request's identity into its committed
+        # result and its own journal lines.
+        trace_id = getattr(
+            getattr(supervisor.observer, "tracer", None), "trace_id", None
+        )
         for task in pending:
             payload = base64.b64encode(
                 pickle.dumps(task.payload)
             ).decode("ascii")
+            record = {
+                "task_id": task.task_id,
+                "fn": fn_ref,
+                "payload": payload,
+            }
+            if trace_id is not None:
+                record["trace_id"] = trace_id
             storage.atomic_write_text(
-                task_path(root, task.task_id),
-                json.dumps(
-                    {
-                        "task_id": task.task_id,
-                        "fn": fn_ref,
-                        "payload": payload,
-                    }
-                ),
+                task_path(root, task.task_id), json.dumps(record)
             )
 
     def _spawn_agents(self) -> None:

@@ -85,6 +85,13 @@ URL_FILE = "service.url"
 #: Name of the service journal inside the state dir.
 JOURNAL_FILE = "service.jsonl"
 
+#: Bucket bounds (seconds) for job-lifecycle latency histograms —
+#: wider than the HTTP request buckets because a mining run is minutes
+#: where a request is milliseconds.
+JOB_SECONDS_BUCKETS = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 60.0, 300.0, 1800.0,
+)
+
 
 class MiningService:
     """One mining-service instance over a durable state directory.
@@ -213,7 +220,36 @@ class MiningService:
                     "Jobs reaching a terminal state.",
                     state=str(state),
                 ).inc()
+            self._observe_latency(fields.get("job_id"), state, fields)
         self._update_gauges()
+
+    def _observe_latency(self, job_id, state, fields: dict) -> None:
+        """Per-tenant job-lifecycle latency histograms.
+
+        Queue wait is submit → the *first* running transition (a retry's
+        wait is backoff, not queueing); end-to-end is submit → any
+        terminal state.  Both are derived from the durable record's
+        ``created_at``, so they survive restarts mid-job.
+        """
+        if job_id is None:
+            return
+        record = self.index.get(job_id)
+        if record is None:
+            return
+        elapsed = max(0.0, time.time() - record.created_at)
+        prefix = self.registry.prefix
+        if state == RUNNING and fields.get("attempt", 1) == 1:
+            self.registry.histogram(
+                f"{prefix}_service_job_queue_wait_seconds",
+                "Submit-to-first-run seconds, per tenant.",
+                buckets=JOB_SECONDS_BUCKETS, tenant=record.tenant,
+            ).observe(elapsed)
+        elif state in TERMINAL_STATES:
+            self.registry.histogram(
+                f"{prefix}_service_job_end_to_end_seconds",
+                "Submit-to-terminal-state seconds, per tenant.",
+                buckets=JOB_SECONDS_BUCKETS, tenant=record.tenant,
+            ).observe(elapsed)
 
     def _update_gauges(self) -> None:
         self._m_queued.set(self.scheduler.queue_depth())
@@ -292,6 +328,7 @@ class MiningService:
                 record.spec.threshold,
                 storage=self.storage,
                 journal=self.journal,
+                trace_id=record.spec.trace_id,
                 max_backlog=self.max_live_backlog,
                 replay_budget_rows=(
                     self.live_replay_budget_rows
@@ -392,6 +429,10 @@ class MiningService:
 
     def read_result(self, job_id: str) -> str:
         return self.index.read_result(job_id)
+
+    def read_trace(self, job_id: str) -> Optional[dict]:
+        """The job's archived span-tree document, or ``None``."""
+        return self.index.read_trace(job_id)
 
     def result_document(self, job_id: str) -> dict:
         """The committed result parsed back into a document."""

@@ -63,7 +63,7 @@ SPEC_KEYS = frozenset(
         "job_id", "tenant", "task", "threshold", "data", "engine",
         "n_partitions", "n_workers", "task_timeout", "task_retries",
         "vector_block_rows", "timeout_seconds", "max_attempts",
-        "memory_budget", "kind",
+        "memory_budget", "kind", "trace_id",
     )
 )
 
@@ -118,6 +118,10 @@ class JobSpec:
     #: ``batch`` (default) or ``live`` — a live job is a long-running
     #: continuous-mining session, never scheduled as a one-shot run.
     kind: str = "batch"
+    #: The originating request's identity (minted at the HTTP edge or
+    #: supplied by the client); every span of every attempt, worker
+    #: and delta apply of this job carries it.
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_mapping(cls, document: Dict[str, object]) -> "JobSpec":
@@ -159,6 +163,11 @@ class JobSpec:
             or job_id.startswith(".")
         ):
             raise ValueError("job_id must be a plain file-name-safe string")
+        trace_id = document.get("trace_id")
+        if trace_id is not None and (
+            not isinstance(trace_id, str) or not trace_id.strip()
+        ):
+            raise ValueError("trace_id must be a non-empty string")
         spec = cls(
             task=str(document["task"]),
             threshold=document["threshold"],
@@ -195,6 +204,7 @@ class JobSpec:
                 else int(document["memory_budget"])  # type: ignore[arg-type]
             ),
             kind=str(document.get("kind", "batch")),
+            trace_id=trace_id,
         )
         if spec.kind not in JOB_KINDS:
             raise ValueError(
@@ -231,7 +241,7 @@ class JobSpec:
         }
         for key in (
             "n_workers", "task_timeout", "vector_block_rows",
-            "timeout_seconds", "memory_budget",
+            "timeout_seconds", "memory_budget", "trace_id",
         ):
             value = getattr(self, key)
             if value is not None:
@@ -450,6 +460,9 @@ class JobIndex:
                                 on every state transition
         results/<job_id>.json   the committed result document,
                                 create-exclusive (first writer wins)
+        traces/<job_id>.json    the per-run trace archive (the span
+                                trees of every attempt, atomically
+                                rewritten as attempts accumulate)
         work/<job_id>/          per-job scratch (checkpoint / spill /
                                 ledger), stable across restarts
 
@@ -463,8 +476,11 @@ class JobIndex:
         self.storage = storage if storage is not None else LOCAL_STORAGE
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.results_dir = os.path.join(self.root, "results")
+        self.traces_dir = os.path.join(self.root, "traces")
         self.work_dir = os.path.join(self.root, "work")
-        for directory in (self.jobs_dir, self.results_dir, self.work_dir):
+        for directory in (
+            self.jobs_dir, self.results_dir, self.traces_dir, self.work_dir,
+        ):
             self.storage.makedirs(directory)
         self._lock = threading.RLock()
         self._records: Dict[str, JobRecord] = {}
@@ -476,6 +492,9 @@ class JobIndex:
 
     def result_path(self, job_id: str) -> str:
         return os.path.join(self.results_dir, f"{job_id}.json")
+
+    def trace_path(self, job_id: str) -> str:
+        return os.path.join(self.traces_dir, f"{job_id}.json")
 
     def job_workdir(self, job_id: str) -> str:
         return os.path.join(self.work_dir, job_id)
@@ -549,6 +568,31 @@ class JobIndex:
         return self.storage.create_exclusive_text(
             self.result_path(job_id), text
         )
+
+    def write_trace(self, job_id: str, document: Dict[str, object]) -> None:
+        """Atomically (re)write a job's trace archive.
+
+        Unlike results the archive is *rewritten* as attempts
+        accumulate — each rewrite carries every prior attempt's span
+        tree plus the new one, so the file is always a complete trace
+        of the job so far and a crash leaves the previous complete
+        archive in place.
+        """
+        self.storage.atomic_write_text(
+            self.trace_path(job_id),
+            json.dumps(document, separators=(",", ":")),
+        )
+
+    def read_trace(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job's trace archive, or None when no attempt ran yet."""
+        path = self.trace_path(job_id)
+        if not self.storage.exists(path):
+            return None
+        try:
+            with self.storage.open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
 
     # -- reads ---------------------------------------------------------
 

@@ -34,6 +34,7 @@ from typing import Dict, Optional
 from repro.live.miner import DeltaReceipt, LiveMiner
 from repro.live.wal import DeltaLogError
 from repro.observe.live import LiveRunStatus
+from repro.observe.tracer import Tracer
 from repro.service.quotas import AdmissionError
 
 #: Default cap on committed-but-unapplied batches per session; at or
@@ -64,6 +65,7 @@ class LiveSession:
         *,
         storage=None,
         journal=None,
+        trace_id: Optional[str] = None,
         max_backlog: int = DEFAULT_MAX_BACKLOG,
         replay_budget_rows: Optional[int] = DEFAULT_REPLAY_BUDGET_ROWS,
         snapshot_every: int = 4,
@@ -73,6 +75,10 @@ class LiveSession:
         self.job_id = job_id
         self.max_backlog = max_backlog
         self.status = LiveRunStatus(run_id=job_id)
+        # Delta-apply spans carry the submitting request's identity —
+        # the same trace_id a batch job's attempt spans would.
+        self.trace_id = trace_id or job_id
+        self.tracer = Tracer(trace_id=self.trace_id)
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._applied = threading.Condition(self._lock)
@@ -80,14 +86,16 @@ class LiveSession:
         self._paused = False
         self._receipts: Dict[int, DeltaReceipt] = {}
         self._error: Optional[str] = None
+        journal_extra = {"job_id": job_id, "trace_id": self.trace_id}
         self.miner = LiveMiner(
             os.path.join(workdir, "live"),
             task,
             threshold,
             storage=storage,
             journal=journal,
-            journal_extra={"job_id": job_id},
+            journal_extra=journal_extra,
             status=self.status,
+            tracer=self.tracer,
             snapshot_every=snapshot_every,
             replay_budget_rows=replay_budget_rows,
         )

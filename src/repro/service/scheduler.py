@@ -37,6 +37,8 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.observe.progress import ProgressObserver
+from repro.observe.run import RunObserver
+from repro.observe.tracer import Tracer
 from repro.runtime.guards import backoff_delay
 from repro.runtime.storage import Storage
 from repro.runtime.supervisor import transient_pool_failure
@@ -383,29 +385,62 @@ class Scheduler:
             self._event(
                 "job-state", job_id=job_id, state=RUNNING, attempt=attempt
             )
+            # Every attempt gets a fresh tracer carrying the request's
+            # trace_id, seeded from the durable per-run archive so span
+            # trees from earlier attempts (and earlier process lives)
+            # stay in the tree.  The cancel watch rides along as the
+            # observer's progress sink, keeping every engine hook a
+            # cancellation point.
+            tracer = self._attempt_tracer(record)
+            observer = RunObserver(
+                tracer=tracer, progress=watch, run_id=job_id
+            )
+            span = None
             try:
-                text, n_rules = self.executor(
-                    running,
-                    self.index.job_workdir(job_id),
-                    watch,
-                    storage=self.storage,
-                    default_memory_budget=self.default_memory_budget,
-                )
-            except JobCancelled:
-                self._finish_cancel(job_id, watch)
-                return
-            except JobTimeout:
-                self._finish(
-                    job_id, FAILED,
-                    note="timed out",
-                    error="exceeded the job's wall-clock timeout",
-                )
-                return
-            except Exception as error:  # noqa: BLE001 — classified below
-                retry_delay = self._finish_failure(
-                    job_id, record, attempt, error
-                )
-                return
+                try:
+                    with tracer.span(
+                        "attempt",
+                        job_id=job_id,
+                        attempt=attempt,
+                        trace_id=tracer.trace_id,
+                    ) as span:
+                        text, n_rules = self.executor(
+                            running,
+                            self.index.job_workdir(job_id),
+                            observer,
+                            storage=self.storage,
+                            default_memory_budget=self.default_memory_budget,
+                        )
+                except JobCancelled:
+                    if span is not None:
+                        span.attributes.update(
+                            failed=True, failed_reason="cancelled"
+                        )
+                    self._finish_cancel(job_id, watch)
+                    return
+                except JobTimeout:
+                    if span is not None:
+                        span.attributes.update(
+                            failed=True, failed_reason="timeout"
+                        )
+                    self._finish(
+                        job_id, FAILED,
+                        note="timed out",
+                        error="exceeded the job's wall-clock timeout",
+                    )
+                    return
+                except Exception as error:  # noqa: BLE001 — classified below
+                    if span is not None:
+                        span.attributes.update(
+                            failed=True,
+                            failed_reason=f"{type(error).__name__}: {error}",
+                        )
+                    retry_delay = self._finish_failure(
+                        job_id, record, attempt, error
+                    )
+                    return
+            finally:
+                self._archive_trace(job_id, tracer)
             created = self.index.commit_result(job_id, text)
             self._finish(
                 job_id, DONE,
@@ -432,6 +467,33 @@ class Scheduler:
                 if retry_delay > 0:
                     time.sleep(retry_delay)
                 self.enqueue(job_id)
+
+    def _attempt_tracer(self, record: JobRecord) -> Tracer:
+        """A tracer for one attempt, seeded from the run's trace archive.
+
+        The archive accumulates one top-level ``attempt`` span tree per
+        attempt; rebuilding the tracer from it before each run means a
+        retry (or a restart in a new process) appends to the same tree
+        instead of starting over.  The trace_id is the submitting
+        request's identity when the spec carries one, else the job id.
+        """
+        trace_id = record.spec.trace_id or record.job_id
+        archived = self.index.read_trace(record.job_id)
+        if archived:
+            tracer = Tracer.from_dict(archived)
+        else:
+            tracer = Tracer()
+        tracer.trace_id = trace_id
+        return tracer
+
+    def _archive_trace(self, job_id: str, tracer: Tracer) -> None:
+        """Persist the accumulated span forest; never fails the job."""
+        try:
+            document = tracer.to_dict()
+            document["job_id"] = job_id
+            self.index.write_trace(job_id, document)
+        except OSError:
+            pass  # tracing is best-effort; the run's outcome stands
 
     def _finish(self, job_id: str, state: str, note: str,
                 error: Optional[str] = None,

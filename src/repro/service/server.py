@@ -39,6 +39,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.live.wal import DeltaLogError, DeltaMismatch, OutOfOrderDelta
+from repro.observe.exporters import trace_to_chrome
 from repro.observe.server import MetricsServer, Response, json_response
 from repro.service.jobs import DONE, QUEUED, RUNNING, JobRecord
 from repro.service.quotas import AdmissionError
@@ -78,6 +79,7 @@ class ServiceServer(MetricsServer):
         super().__init__(
             registry, port=port, host=host,
             connection_timeout=connection_timeout,
+            journal=service.journal,
         )
 
     # ------------------------------------------------------------------
@@ -122,6 +124,15 @@ class ServiceServer(MetricsServer):
             document = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
             return json_response(400, {"error": "body must be a JSON object"})
+        if isinstance(document, dict) and not document.get("trace_id"):
+            # Stamp the request's identity onto the spec: every span
+            # the job ever produces — scheduler attempts, worker
+            # payloads, remote task files, live delta applies — then
+            # carries the X-Request-Id that submitted it.
+            request_id = self.current_request_id()
+            if request_id:
+                document = dict(document)
+                document["trace_id"] = request_id
         try:
             record, created = self.service.submit(document)
         except AdmissionError as rejection:
@@ -297,11 +308,63 @@ class ServiceServer(MetricsServer):
         # the session's status; everything else (metrics, healthz,
         # the batch run page) falls through to the metrics server.
         segments = [s for s in urlsplit(path).path.split("/") if s]
+        if (
+            len(segments) == 3
+            and segments[0] == "runs"
+            and segments[2] == "trace"
+        ):
+            return self.get_trace(segments[1])
         if len(segments) == 2 and segments[0] == "runs":
             session = self.service.live_session(segments[1])
             if session is not None:
                 return json_response(200, session.snapshot())
         return super().handle_get(path)
+
+    def get_trace(self, job_id: str) -> Response:
+        """``/runs/<id>/trace``: the archived span tree as Chrome JSON.
+
+        The document loads directly in ``chrome://tracing`` and
+        Perfetto; 404 until the first attempt has archived its spans.
+        """
+        archive = self.service.read_trace(job_id)
+        if archive is None:
+            return json_response(
+                404, {"error": "no trace archived", "job_id": job_id}
+            )
+        return json_response(200, trace_to_chrome(archive))
+
+    # ------------------------------------------------------------------
+    # Request attribution
+    # ------------------------------------------------------------------
+
+    def resolve_tenant(self, method: str, path: str, body: bytes) -> str:
+        """Attribute a request to the owning tenant for RED metrics.
+
+        Job-scoped routes resolve through the index; a submit parses
+        its own body (the job does not exist yet); list routes use the
+        ``?tenant=`` filter.  Anything unattributable is ``"-"`` —
+        never a guess, never an unbounded raw value.
+        """
+        parts = urlsplit(path)
+        segments = [s for s in parts.path.split("/") if s]
+        if segments[:1] != ["jobs"]:
+            return "-"
+        if len(segments) >= 2:
+            record = self.service.get_job(segments[1])
+            return record.tenant if record is not None else "-"
+        if method == "POST":
+            try:
+                document = json.loads(body.decode("utf-8"))
+                tenant = document.get("tenant", "default")
+            except (ValueError, UnicodeDecodeError, AttributeError):
+                return "-"
+            if isinstance(tenant, str) and tenant:
+                return tenant
+            return "-"
+        tenants = parse_qs(parts.query).get("tenant")
+        if tenants and tenants[0]:
+            return tenants[0]
+        return "-"
 
     # ------------------------------------------------------------------
     # Health
